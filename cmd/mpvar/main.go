@@ -1,0 +1,175 @@
+// Command mpvar regenerates the tables and figures of "Impact of
+// Interconnect Multiple-Patterning Variability on SRAMs" (DATE 2015) from
+// the mpsram library.
+//
+// Usage:
+//
+//	mpvar [flags] <experiment>
+//
+// where <experiment> is one of: table1 table2 table3 table4 fig2 fig3
+// fig4 fig5 all gds deck.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpsram/internal/analytic"
+	"mpsram/internal/core"
+	"mpsram/internal/exp"
+	"mpsram/internal/layout"
+	"mpsram/internal/litho"
+	"mpsram/internal/mc"
+	"mpsram/internal/report"
+	"mpsram/internal/sram"
+	"mpsram/internal/tech"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: mpvar [flags] <experiment>
+
+experiments:
+  table1   worst-case variability per patterning option
+  fig2     worst-case layout distortion
+  fig3     array DOE overview
+  fig4     worst-case td / tdp vs array size (SPICE)
+  table2   formula vs simulation tdnom
+  table3   formula vs simulation tdp
+  fig5     Monte-Carlo tdp distribution (8nm OL, n=64)
+  table4   tdp sigma per option and overlay budget
+  all      every experiment in paper order
+  snm      static noise margins (hold/read butterfly)
+  ext      extension studies: LE2 option, thickness source, write penalty
+  sens     first-order tdp variance propagation per option
+  gds      dump the 6T cell layout as GDS text
+  deck     dump a column SPICE deck (use -n)
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func main() {
+	samples := flag.Int("samples", 10000, "Monte-Carlo sample count")
+	seed := flag.Int64("seed", 2015, "Monte-Carlo seed")
+	ol := flag.Float64("ol", 8, "LE3 overlay 3-sigma budget in nm")
+	n := flag.Int("n", 64, "array word-line count for deck/fig5")
+	lumped := flag.Bool("lumped", false, "use the lumped bit-line ablation")
+	thkNM := flag.Float64("thk", 0, "enable the thickness extension: 3-sigma in nm (ext)")
+	formatFlag := flag.String("format", "text", "output format: text, csv or md")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	format, err := report.ParseFormat(*formatFlag)
+	if err != nil {
+		fatal(err)
+	}
+	// emit renders either the paper-style text or a structured table.
+	emit := func(text string, tbl *report.Table) {
+		if format == report.FormatText {
+			fmt.Print(text)
+			return
+		}
+		check(tbl.Write(os.Stdout, format))
+	}
+
+	study, err := core.NewStudy(
+		core.WithOverlay(*ol*1e-9),
+		core.WithMC(mc.Config{Samples: *samples, Seed: *seed}),
+		core.WithBuild(sram.BuildOptions{Lumped: *lumped}),
+	)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch flag.Arg(0) {
+	case "table1":
+		rows, err := study.WorstCases()
+		check(err)
+		emit(exp.FormatTable1(rows), exp.Table1Report(rows))
+	case "fig2":
+		es, err := study.Distortions()
+		check(err)
+		fmt.Print(exp.FormatFig2(es))
+	case "fig3":
+		rows, err := study.ArrayOverview()
+		check(err)
+		emit(exp.FormatFig3(rows), exp.Fig3Report(rows))
+	case "fig4":
+		pts, err := study.TdVsSize()
+		check(err)
+		emit(exp.FormatFig4(pts), exp.Fig4Report(pts))
+	case "table2":
+		rows, err := study.TdnomComparison()
+		check(err)
+		emit(exp.FormatTable2(rows), exp.Table2Report(rows))
+	case "table3":
+		rows, err := study.TdpComparison()
+		check(err)
+		emit(exp.FormatTable3(rows), exp.Table3Report(rows))
+	case "fig5":
+		res, err := exp.Fig5(study.Env, *ol*1e-9, *n)
+		check(err)
+		emit(exp.FormatFig5(res), exp.Fig5Report(res))
+	case "table4":
+		rows, err := study.SigmaTable()
+		check(err)
+		emit(exp.FormatTable4(rows), exp.Table4Report(rows))
+	case "snm":
+		res, err := sram.StaticNoiseMargins(study.Env.Proc)
+		check(err)
+		fmt.Printf("static noise margins (N10, %.1f V):\n  hold: %.3f V\n  read: %.3f V\n",
+			study.Env.Proc.FEOL.Vdd, res.Hold, res.Read)
+	case "sens":
+		m, err := study.Model()
+		check(err)
+		fmt.Printf("First-order tdp variance propagation (n=%d):\n", *n)
+		for _, o := range litho.AllOptions {
+			prop, err := analytic.PropagateTdp(study.Env.Proc, o, m, study.Env.Cap, *n)
+			check(err)
+			fmt.Printf("%-8v σ(tdp) ≈ %.3f pp\n", o, prop.SigmaPP)
+			for _, s := range prop.Sensitivities {
+				fmt.Printf("    %-10s σ=%5.2fnm  Δtdp/σ = %+7.3f pp\n",
+					s.Param, s.Sigma*1e9, s.DTdpDSigma)
+			}
+		}
+	case "ext":
+		thk := *thkNM * 1e-9
+		rows, err := exp.ExtTable1(study.Env, thk)
+		check(err)
+		fmt.Print(exp.FormatExtTable1(rows, thk))
+		wrows, err := exp.WritePenalty(study.Env, *n)
+		check(err)
+		fmt.Print(exp.FormatWritePenalty(wrows))
+	case "all":
+		check(study.RunAll(os.Stdout))
+	case "gds":
+		cell := layout.SRAM6TCell(tech.N10())
+		check(cell.WriteGDSText(os.Stdout))
+	case "deck":
+		p := study.Env.Proc
+		nom, err := sram.NominalParasitics(p, study.Env.Cap)
+		check(err)
+		col, err := sram.BuildColumn(p, *n, nom, study.Env.Build)
+		check(err)
+		fmt.Print(col.Netlist.WriteSpice(fmt.Sprintf("sram column n=%d (%s)", *n, litho.EUV)))
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mpvar:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,20 @@
+// Package mpsram is a from-scratch Go reproduction of
+//
+//	I. Karageorgos et al., "Impact of Interconnect Multiple-Patterning
+//	Variability on SRAMs", DATE 2015, pp. 609–612.
+//
+// The implementation lives under internal/: technology description
+// (tech), patterning engines (litho), parasitic extraction (extract) with
+// a finite-difference field-solver reference (field), a nodal SPICE engine
+// (circuit, device, sparse, spice), the SRAM column builder (sram), the
+// paper's analytical read-time model (analytic), Monte-Carlo machinery
+// (mc, stats), layout generation (layout), the per-table/figure experiment
+// drivers (exp) and the public facade (core).
+//
+// The benchmark harness in bench_test.go regenerates every table and
+// figure of the paper's evaluation section; run
+//
+//	go test -bench=. -benchmem
+//
+// and see EXPERIMENTS.md for the paper-vs-measured record.
+package mpsram

@@ -1,0 +1,54 @@
+// Arraysweep: the Fig. 4 experiment end-to-end on the SPICE engine —
+// worst-case read-time penalty versus array size for all three patterning
+// options, printed as the series the paper plots.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpsram/internal/core"
+	"mpsram/internal/extract"
+	"mpsram/internal/litho"
+	"mpsram/internal/sram"
+)
+
+func main() {
+	study, err := core.NewStudy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	env := study.Env
+	sizes := []int{16, 64, 256, 1024}
+
+	fmt.Println("Worst-case td penalty vs array size (SPICE, N10):")
+	fmt.Printf("%-8s", "option")
+	for _, n := range sizes {
+		fmt.Printf(" %10s", fmt.Sprintf("10x%d", n))
+	}
+	fmt.Println()
+	for _, o := range litho.Options {
+		wc, err := extract.WorstCase(env.Proc, o, env.Cap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8v", o)
+		for _, n := range sizes {
+			tdp, _, _, err := sram.TdPenaltyPct(env.Proc, o, wc.Sample, env.Cap, n, env.Build, env.Sim)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %+9.2f%%", tdp)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nNominal read time vs array size:")
+	for _, n := range sizes {
+		td, err := study.ReadTime(litho.EUV, litho.Nominal, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  10x%-5d td = %8.2f ps\n", n, td*1e12)
+	}
+}

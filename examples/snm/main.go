@@ -1,0 +1,64 @@
+// Snm: cell-stability analysis on the SPICE substrate — butterfly static
+// noise margins in hold and read, a write-time measurement, and the
+// coupling of MP interconnect variability into the write path. These are
+// the extension analyses DESIGN.md lists beyond the paper's read study.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpsram/internal/extract"
+	"mpsram/internal/litho"
+	"mpsram/internal/sram"
+	"mpsram/internal/tech"
+)
+
+func main() {
+	p := tech.N10()
+	cm := extract.SakuraiTamaru{}
+
+	snm, err := sram.StaticNoiseMargins(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("6T cell static noise margins at %.1f V:\n", p.FEOL.Vdd)
+	fmt.Printf("  hold SNM: %.1f mV\n", snm.Hold*1e3)
+	fmt.Printf("  read SNM: %.1f mV\n", snm.Read*1e3)
+
+	nom, err := sram.NominalParasitics(p, cm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nWrite-0 into the far cell (nominal wires):")
+	for _, n := range []int{16, 64, 256} {
+		col, err := sram.BuildWriteColumn(p, n, nom, sram.BuildOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		wr, err := col.MeasureWriteTime(nom, sram.SimOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  10x%-4d cell flips after %6.2f ps\n", n, wr.TFlip*1e12)
+	}
+
+	// How the LE3 worst corner shifts the write.
+	wc, err := extract.WorstCase(p, litho.LE3, cm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scaled := nom.Scale(wc.Ratios)
+	colN, _ := sram.BuildWriteColumn(p, 64, nom, sram.BuildOptions{})
+	colW, _ := sram.BuildWriteColumn(p, 64, scaled, sram.BuildOptions{})
+	wrN, err := colN.MeasureWriteTime(nom, sram.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wrW, err := colW.MeasureWriteTime(scaled, sram.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nLE3 worst-corner write penalty at 10x64: %+.2f%% (%.2f → %.2f ps)\n",
+		(wrW.TFlip/wrN.TFlip-1)*100, wrN.TFlip*1e12, wrW.TFlip*1e12)
+}

@@ -1,0 +1,60 @@
+// Spicedeck: build the SRAM column netlist directly, export it as a SPICE
+// deck, run the read on the built-in engine, and print the sense-node
+// waveforms — the workflow for users who want the simulator substrate
+// rather than the packaged experiments.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"mpsram/internal/extract"
+	"mpsram/internal/sram"
+	"mpsram/internal/tech"
+)
+
+func main() {
+	p := tech.N10()
+	cm := extract.SakuraiTamaru{}
+	nom, err := sram.NominalParasitics(p, cm)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	col, err := sram.BuildColumn(p, 16, nom, sram.BuildOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	deck := col.Netlist.WriteSpice("sram column, n=16, nominal N10")
+	fmt.Println("SPICE deck (first lines):")
+	for i, line := range strings.Split(deck, "\n") {
+		if i >= 12 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Println(" ", line)
+	}
+	fmt.Println("netlist:", col.Netlist.Stats())
+
+	rr, err := col.MeasureTd(nom, sram.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nread: td = %.2f ps (window %.0f ps, dt %.2f fs)\n",
+		rr.Td*1e12, rr.TEnd*1e12, rr.Dt*1e15)
+	fmt.Printf("read-disturb peak on q: %.3f V\n", col.SenseMargin(rr.Result))
+
+	res := rr.Result
+	bl := res.NodeWave(col.BLSense)
+	blb := res.NodeWave(col.BLBSense)
+	fmt.Println("\n   t[ps]    V(bl)   V(blb)    diff")
+	step := len(res.T) / 10
+	if step == 0 {
+		step = 1
+	}
+	for k := 0; k < len(res.T); k += step {
+		fmt.Printf("%8.2f %8.4f %8.4f %8.4f\n", res.T[k]*1e12, bl[k], blb[k], blb[k]-bl[k])
+	}
+}

@@ -1,0 +1,141 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"mpsram/internal/device"
+	"mpsram/internal/tech"
+)
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"4.7k", 4.7e3}, {"25f", 25e-15}, {"3meg", 3e6}, {"1e-12", 1e-12},
+		{"0.7", 0.7}, {"2n", 2e-9}, {"10u", 10e-6}, {"5m", 5e-3},
+		{"1t", 1e12}, {"2g", 2e9}, {"7p", 7e-12}, {"3a", 3e-18},
+		{"-4.5n", -4.5e-9}, {" 12K ", 12e3},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.in)
+		if err != nil {
+			t.Fatalf("ParseValue(%q): %v", c.in, err)
+		}
+		if math.Abs(got-c.want) > 1e-12*math.Abs(c.want) {
+			t.Fatalf("ParseValue(%q) = %g, want %g", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "1a2", "NaN", "+Inf"} {
+		if _, err := ParseValue(bad); err == nil {
+			t.Fatalf("ParseValue(%q) accepted", bad)
+		}
+	}
+}
+
+func resolver(t *testing.T) ModelResolver {
+	f := tech.N10().FEOL
+	nm := device.NewNMOS(f)
+	pm := device.NewPMOS(f)
+	return func(name string) (*device.MOS, error) {
+		switch name {
+		case nm.Name:
+			return nm, nil
+		case pm.Name:
+			return pm, nil
+		default:
+			return nil, fmt.Errorf("unknown model %q", name)
+		}
+	}
+}
+
+func TestParseSpiceBasicDeck(t *testing.T) {
+	deck := `* comment
+Rload out mid 4.7k
+Cout out 0 25f
+Vdd mid 0 DC 0.7
+Vwl wl 0 PULSE(0 0.7 1p 2p 2p 1)
+Ileak out 0 DC 1n
+Mpd out wl 0 0 n10_nmos W=30n
+.end
+ignored after end`
+	n, err := ParseSpice(strings.NewReader(deck), resolver(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Rs) != 1 || len(n.Cs) != 1 || len(n.Vs) != 2 || len(n.Is) != 1 || len(n.Ms) != 1 {
+		t.Fatalf("element counts: %s", n.Stats())
+	}
+	if n.Rs[0].R != 4.7e3 || n.Cs[0].C != 25e-15 {
+		t.Fatalf("values: R=%g C=%g", n.Rs[0].R, n.Cs[0].C)
+	}
+	p, ok := n.Vs[1].Wave.(Pulse)
+	if !ok || p.V1 != 0.7 || p.Delay != 1e-12 {
+		t.Fatalf("pulse: %+v", n.Vs[1].Wave)
+	}
+	if math.Abs(n.Ms[0].W-30e-9) > 1e-18 || n.Ms[0].Model.Kind != device.NMOS {
+		t.Fatalf("mosfet: %+v", n.Ms[0])
+	}
+}
+
+func TestParseSpiceRoundTrip(t *testing.T) {
+	// writer → parser → writer must be a fixed point.
+	f := tech.N10().FEOL
+	nm := device.NewNMOS(f)
+	n := New()
+	a, b := n.Node("bl"), n.Node("wl")
+	n.AddR("r1", a, b, 6.22)
+	n.AddC("c1", a, Ground, 2.5e-17)
+	n.AddV("vdd", b, Ground, DC(0.7))
+	n.AddV("wl", b, Ground, Pulse{V0: 0, V1: 0.7, Delay: 1e-12, Rise: 2e-12, Fall: 2e-12, Width: 1})
+	n.AddM("pd", a, b, Ground, nm, 30e-9)
+	deck1 := n.WriteSpice("round trip")
+	parsed, err := ParseSpice(strings.NewReader(deck1), resolver(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deck2 := parsed.WriteSpice("round trip")
+	if deck1 != deck2 {
+		t.Fatalf("round trip not stable:\n--- first\n%s--- second\n%s", deck1, deck2)
+	}
+}
+
+func TestParseSpiceErrors(t *testing.T) {
+	cases := []string{
+		"Rbad a b",                       // missing value
+		"Rbad a b 1x",                    // bad value
+		"Cbad a 0 -5f",                   // validate rejects negative C
+		"Vbad a 0 SIN 1 2",               // unsupported source
+		"Vbad a 0 PULSE(1 2 3)",          // short pulse
+		"Vbad a 0",                       // no source spec
+		"Mbad d g s b nosuchmodel W=10n", // unknown model
+		"Mbad d g s b n10_nmos L=10n",    // missing W=
+		"Mbad d g s b n10_nmos",          // short
+		"Xsub a b sub",                   // unsupported card
+	}
+	for _, deck := range cases {
+		if _, err := ParseSpice(strings.NewReader(deck), resolver(t)); err == nil {
+			t.Errorf("deck %q accepted", deck)
+		}
+	}
+	// MOSFET without resolver.
+	if _, err := ParseSpice(strings.NewReader("M1 d g s b m W=1n"), nil); err == nil {
+		t.Error("nil resolver with MOSFET accepted")
+	}
+}
+
+func TestParseSpiceGroundAliases(t *testing.T) {
+	deck := "Rg a gnd 100\nRh a GND 200\nRi a 0 300\n.end"
+	n, err := ParseSpice(strings.NewReader(deck), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range n.Rs {
+		if r.B != Ground {
+			t.Fatalf("ground alias not folded: %+v", r)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package core is the public facade of the mpsram library: one Study
+// object that wires the technology description, the patterning engines,
+// the parasitic extractor, the SPICE simulator, the analytical model and
+// the Monte-Carlo machinery into the paper's experiments.
+//
+// Typical use:
+//
+//	study, _ := core.NewStudy()
+//	rows, _ := study.WorstCases()            // Table I
+//	td, _ := study.ReadTime(litho.LE3, s, 64) // one SPICE read
+//	sig, _ := study.SigmaTable()             // Table IV
+//	study.RunAll(os.Stdout)                  // every table and figure
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"mpsram/internal/analytic"
+	"mpsram/internal/exp"
+	"mpsram/internal/extract"
+	"mpsram/internal/litho"
+	"mpsram/internal/mc"
+	"mpsram/internal/sram"
+	"mpsram/internal/stats"
+	"mpsram/internal/tech"
+)
+
+// Study is a configured reproduction environment.
+type Study struct {
+	Env exp.Env
+}
+
+// Option customizes a Study.
+type Option func(*exp.Env)
+
+// WithProcess replaces the technology preset.
+func WithProcess(p tech.Process) Option { return func(e *exp.Env) { e.Proc = p } }
+
+// WithCapModel selects the capacitance model (default Sakurai–Tamaru).
+func WithCapModel(cm extract.CapModel) Option { return func(e *exp.Env) { e.Cap = cm } }
+
+// WithMC overrides the Monte-Carlo configuration.
+func WithMC(cfg mc.Config) Option { return func(e *exp.Env) { e.MC = cfg } }
+
+// WithOverlay sets the LE3 overlay 3σ budget in metres.
+func WithOverlay(ol float64) Option { return func(e *exp.Env) { e.Proc = e.Proc.WithOL(ol) } }
+
+// WithBuild overrides the SRAM column construction options.
+func WithBuild(b sram.BuildOptions) Option { return func(e *exp.Env) { e.Build = b } }
+
+// NewStudy builds a study on the N10 preset with the paper's defaults.
+func NewStudy(opts ...Option) (*Study, error) {
+	env := exp.DefaultEnv()
+	for _, o := range opts {
+		o(&env)
+	}
+	if err := env.Proc.Validate(); err != nil {
+		return nil, err
+	}
+	if env.Cap == nil {
+		return nil, fmt.Errorf("core: nil capacitance model")
+	}
+	return &Study{Env: env}, nil
+}
+
+// Model returns the analytical formula parameters for this study.
+func (s *Study) Model() (analytic.Params, error) { return s.Env.Model() }
+
+// WorstCases runs the Table I corner search.
+func (s *Study) WorstCases() ([]exp.Table1Row, error) { return exp.Table1(s.Env) }
+
+// Distortions runs the Fig. 2 worst-case geometry dump.
+func (s *Study) Distortions() ([]exp.Fig2Entry, error) { return exp.Fig2(s.Env) }
+
+// ArrayOverview runs the Fig. 3 DOE floorplans.
+func (s *Study) ArrayOverview() ([]exp.Fig3Row, error) { return exp.Fig3(s.Env) }
+
+// TdVsSize runs the Fig. 4 SPICE sweep.
+func (s *Study) TdVsSize() ([]exp.Fig4Point, error) { return exp.Fig4(s.Env) }
+
+// TdnomComparison runs Table II.
+func (s *Study) TdnomComparison() ([]exp.Table2Row, error) { return exp.Table2(s.Env) }
+
+// TdpComparison runs Table III.
+func (s *Study) TdpComparison() ([]exp.Table3Row, error) { return exp.Table3(s.Env) }
+
+// Distribution runs the Fig. 5 Monte-Carlo at the paper's 8 nm / n=64.
+func (s *Study) Distribution() ([]exp.Fig5Result, error) {
+	return exp.Fig5(s.Env, 8e-9, 64)
+}
+
+// SigmaTable runs Table IV.
+func (s *Study) SigmaTable() ([]mc.SigmaSweepRow, error) { return exp.Table4(s.Env) }
+
+// ReadTime simulates one read and returns td for option o under variation
+// sample smp at array size n.
+func (s *Study) ReadTime(o litho.Option, smp litho.Sample, n int) (float64, error) {
+	return sram.SimulateTd(s.Env.Proc, o, smp, s.Env.Cap, n, s.Env.Build, s.Env.Sim)
+}
+
+// Ratios extracts the variability ratios for a sample.
+func (s *Study) Ratios(o litho.Option, smp litho.Sample) (extract.Ratios, error) {
+	return extract.VarRatios(s.Env.Proc, o, smp, s.Env.Cap)
+}
+
+// TdpDistribution runs a Monte-Carlo tdp distribution at array size n for
+// option o with this study's sample budget.
+func (s *Study) TdpDistribution(o litho.Option, n int) (stats.Summary, error) {
+	m, err := s.Model()
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	res, err := mc.TdpDistribution(s.Env.Proc, o, m, s.Env.Cap, n, s.Env.MC)
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	return res.Summary, nil
+}
+
+// RunAll executes every experiment and writes the paper-style report.
+func (s *Study) RunAll(w io.Writer) error {
+	t1, err := s.WorstCases()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, exp.FormatTable1(t1))
+	f2, err := s.Distortions()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, exp.FormatFig2(f2))
+	f3, err := s.ArrayOverview()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, exp.FormatFig3(f3))
+	f4, err := s.TdVsSize()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, exp.FormatFig4(f4))
+	t2, err := s.TdnomComparison()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, exp.FormatTable2(t2))
+	t3, err := s.TdpComparison()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, exp.FormatTable3(t3))
+	f5, err := s.Distribution()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, exp.FormatFig5(f5))
+	t4, err := s.SigmaTable()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, exp.FormatTable4(t4))
+	return nil
+}

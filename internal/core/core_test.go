@@ -1,0 +1,121 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mpsram/internal/extract"
+	"mpsram/internal/litho"
+	"mpsram/internal/mc"
+	"mpsram/internal/sram"
+	"mpsram/internal/tech"
+)
+
+func TestNewStudyDefaults(t *testing.T) {
+	s, err := NewStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Env.Proc.Name != "N10" {
+		t.Fatal("default process")
+	}
+	m, err := s.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStudyOptions(t *testing.T) {
+	p := tech.N10()
+	p.Name = "custom"
+	s, err := NewStudy(
+		WithProcess(p),
+		WithCapModel(extract.PlateFringe{}),
+		WithMC(mc.Config{Samples: 123, Seed: 5}),
+		WithOverlay(3e-9),
+		WithBuild(sram.BuildOptions{Lumped: true}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Env.Proc.Name != "custom" || s.Env.Proc.Var.OL3Sigma != 3e-9 {
+		t.Fatal("process options not applied")
+	}
+	if s.Env.Cap.Name() != "plate-fringe" || s.Env.MC.Samples != 123 || !s.Env.Build.Lumped {
+		t.Fatal("options not applied")
+	}
+}
+
+func TestNewStudyRejectsInvalid(t *testing.T) {
+	bad := tech.N10()
+	bad.M1.Width = -1
+	if _, err := NewStudy(WithProcess(bad)); err == nil {
+		t.Fatal("invalid process accepted")
+	}
+	if _, err := NewStudy(WithCapModel(nil)); err == nil {
+		t.Fatal("nil cap model accepted")
+	}
+}
+
+func TestStudyReadTimeAndRatios(t *testing.T) {
+	s, err := NewStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := s.ReadTime(litho.EUV, litho.Nominal, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td < 1e-12 || td > 100e-12 {
+		t.Fatalf("td = %g", td)
+	}
+	r, err := s.Ratios(litho.EUV, litho.Sample{CDEUV: 3e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cvar <= 1 || r.Rvar >= 1 {
+		t.Fatalf("ratios %+v", r)
+	}
+}
+
+func TestStudyTdpDistribution(t *testing.T) {
+	s, err := NewStudy(WithMC(mc.Config{Samples: 800, Seed: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.TdpDistribution(litho.SADP, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.N != 800 || sum.Std <= 0 {
+		t.Fatalf("summary %+v", sum)
+	}
+}
+
+// TestRunAllEndToEnd is the whole-pipeline integration test: every
+// experiment in paper order into one report.
+func TestRunAllEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	s, err := NewStudy(WithMC(mc.Config{Samples: 1000, Seed: 2015}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := s.RunAll(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Table I:", "Fig. 2:", "Fig. 3:", "Fig. 4:",
+		"Table II:", "Table III:", "Fig. 5:", "Table IV:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mpsram/internal/tech"
+)
+
+func cards() (*MOS, *MOS) {
+	f := tech.N10().FEOL
+	return NewNMOS(f), NewPMOS(f)
+}
+
+func TestValidate(t *testing.T) {
+	n, p := cards()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *n
+	bad.Alpha = 0.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("alpha<1 must be rejected")
+	}
+	if NMOS.String() != "NMOS" || PMOS.String() != "PMOS" {
+		t.Fatal("kind strings")
+	}
+}
+
+func TestCutoff(t *testing.T) {
+	n, _ := cards()
+	id, gm, gds := n.Eval(20e-9, 0, 0.7)
+	// Softplus leaves a sub-threshold tail; at vgs=0 with Vt=0.25 it must
+	// be orders of magnitude below on-current.
+	on, _, _ := n.Eval(20e-9, 0.7, 0.7)
+	if id > on/1e2 {
+		t.Fatalf("off current %g not ≪ on current %g", id, on)
+	}
+	if gm < 0 || gds < 0 {
+		t.Fatalf("negative conductances in cutoff: %g %g", gm, gds)
+	}
+}
+
+func TestSaturationCurrent(t *testing.T) {
+	n, _ := cards()
+	w := 20e-9
+	// Idsat at full drive is in the tens of microamps for a 20 nm device
+	// (N10-flavoured calibration).
+	id := n.Idsat(w, 0.7)
+	if id < 10e-6 || id > 100e-6 {
+		t.Fatalf("Idsat = %g A outside the calibrated band", id)
+	}
+	// Eval in deep saturation matches Idsat up to channel-length
+	// modulation.
+	idE, _, _ := n.Eval(w, 0.7, 0.7)
+	clm := 1 + n.Lambda*0.7
+	if math.Abs(idE-id*clm)/idE > 1e-9 {
+		t.Fatalf("Eval sat %g vs Idsat·CLM %g", idE, id*clm)
+	}
+}
+
+func TestLinearRegionContinuity(t *testing.T) {
+	n, _ := cards()
+	w := 20e-9
+	vgs := 0.7
+	vdsat := n.Vdsat(vgs)
+	// Current and both derivatives must be continuous across Vdsat.
+	eps := 1e-7
+	idL, gmL, gdsL := n.Eval(w, vgs, vdsat-eps)
+	idR, gmR, gdsR := n.Eval(w, vgs, vdsat+eps)
+	if math.Abs(idL-idR)/idR > 1e-4 {
+		t.Fatalf("Id discontinuous at Vdsat: %g vs %g", idL, idR)
+	}
+	if math.Abs(gmL-gmR)/gmR > 1e-3 {
+		t.Fatalf("gm discontinuous at Vdsat: %g vs %g", gmL, gmR)
+	}
+	// gds has a kink at Vdsat by construction (alpha-power); it must at
+	// least stay positive and bounded.
+	if gdsL <= 0 || gdsR <= 0 || gdsL < gdsR {
+		t.Fatalf("gds behaviour at Vdsat: %g vs %g", gdsL, gdsR)
+	}
+}
+
+func TestDerivativesMatchFiniteDifference(t *testing.T) {
+	n, p := cards()
+	w := 25e-9
+	h := 1e-6
+	for _, m := range []*MOS{n, p} {
+		for _, vgs := range []float64{-0.2, 0.1, 0.3, 0.5, 0.7} {
+			for _, vds := range []float64{-0.7, -0.3, -0.05, 0, 0.05, 0.3, 0.7} {
+				id, gm, gds := m.Eval(w, vgs, vds)
+				idg, _, _ := m.Eval(w, vgs+h, vds)
+				idd, _, _ := m.Eval(w, vgs, vds+h)
+				gmFD := (idg - id) / h
+				gdsFD := (idd - id) / h
+				scale := math.Max(math.Abs(gm), 1e-9)
+				if math.Abs(gm-gmFD) > 2e-3*scale+1e-9 {
+					t.Fatalf("%s gm mismatch at vgs=%g vds=%g: %g vs FD %g",
+						m.Name, vgs, vds, gm, gmFD)
+				}
+				scale = math.Max(math.Abs(gds), 1e-9)
+				if math.Abs(gds-gdsFD) > 5e-3*scale+1e-9 {
+					t.Fatalf("%s gds mismatch at vgs=%g vds=%g: %g vs FD %g",
+						m.Name, vgs, vds, gds, gdsFD)
+				}
+			}
+		}
+	}
+}
+
+func TestSourceDrainSwapAntisymmetry(t *testing.T) {
+	n, _ := cards()
+	w := 20e-9
+	// A MOSFET is symmetric: swapping source and drain negates the
+	// current. Terminal voltages transform as vgs→vgd=vgs−vds, vds→−vds.
+	f := func(vgsRaw, vdsRaw float64) bool {
+		vgs := math.Mod(math.Abs(vgsRaw), 0.9)
+		vds := math.Mod(vdsRaw, 0.8)
+		id1, _, _ := n.Eval(w, vgs, vds)
+		id2, _, _ := n.Eval(w, vgs-vds, -vds)
+		return math.Abs(id1+id2) <= 1e-9*math.Max(1, math.Abs(id1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPMOSMirrorsNMOS(t *testing.T) {
+	f := tech.N10().FEOL
+	n := NewNMOS(f)
+	p := NewPMOS(f)
+	p.K = n.K // equalize strength for the mirror check
+	w := 20e-9
+	idn, gmn, gdsn := n.Eval(w, 0.6, 0.4)
+	idp, gmp, gdsp := p.Eval(w, -0.6, -0.4)
+	if math.Abs(idn+idp) > 1e-12 {
+		t.Fatalf("PMOS mirror current: %g vs %g", idn, idp)
+	}
+	if math.Abs(gmn-gmp) > 1e-12 || math.Abs(gdsn-gdsp) > 1e-12 {
+		t.Fatalf("PMOS mirror conductances: %g/%g vs %g/%g", gmn, gdsn, gmp, gdsp)
+	}
+}
+
+func TestMonotoneInVgs(t *testing.T) {
+	n, _ := cards()
+	w := 20e-9
+	prev := -1.0
+	for vgs := 0.0; vgs <= 0.9; vgs += 0.01 {
+		id, _, _ := n.Eval(w, vgs, 0.7)
+		if id < prev {
+			t.Fatalf("Id not monotone in vgs at %g", vgs)
+		}
+		prev = id
+	}
+}
+
+func TestMonotoneInVdsProperty(t *testing.T) {
+	n, _ := cards()
+	w := 20e-9
+	f := func(a, b float64) bool {
+		v1 := math.Mod(math.Abs(a), 0.7)
+		v2 := math.Mod(math.Abs(b), 0.7)
+		if v1 > v2 {
+			v1, v2 = v2, v1
+		}
+		id1, _, _ := n.Eval(w, 0.7, v1)
+		id2, _, _ := n.Eval(w, 0.7, v2)
+		return id2 >= id1-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRonAndVdsat(t *testing.T) {
+	n, _ := cards()
+	w := 30e-9
+	ron := n.Ron(w, 0.7)
+	if ron < 500 || ron > 50e3 {
+		t.Fatalf("Ron = %g Ω outside plausible band", ron)
+	}
+	// Ron must equal the reciprocal small-signal gds at vds→0.
+	_, _, gds0 := n.Eval(w, 0.7, 1e-9)
+	if math.Abs(ron-1/gds0)/ron > 0.01 {
+		t.Fatalf("Ron %g vs 1/gds(0) %g", ron, 1/gds0)
+	}
+	if n.Vdsat(0.7) <= 0 || n.Vdsat(0.7) > 0.7 {
+		t.Fatalf("Vdsat = %g", n.Vdsat(0.7))
+	}
+	// Deep cutoff corner cases.
+	if !math.IsInf(n.Ron(w, -10), 1) {
+		t.Fatal("Ron in deep cutoff must be infinite")
+	}
+	if n.Vdsat(-10) != 0 || n.Idsat(w, -10) != 0 {
+		t.Fatal("deep cutoff must be fully off")
+	}
+}
+
+func TestSoftplusExtremes(t *testing.T) {
+	v, d := softplus(100, 0.035)
+	if v != 100 || d != 1 {
+		t.Fatalf("softplus overflow branch: %g %g", v, d)
+	}
+	v, d = softplus(-100, 0.035)
+	if v != 0 || d != 0 {
+		t.Fatalf("softplus underflow branch: %g %g", v, d)
+	}
+	v, _ = softplus(0, 0.035)
+	want := 0.035 * math.Ln2
+	if math.Abs(v-want) > 1e-12 {
+		t.Fatalf("softplus(0) = %g, want %g", v, want)
+	}
+}

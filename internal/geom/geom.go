@@ -1,0 +1,236 @@
+// Package geom provides the geometric primitives used by the layout
+// generator, the patterning engines and the field solver: 1-D intervals
+// (metal tracks seen in cross-section), 2-D points, rectangles and simple
+// transforms.
+//
+// Coordinates are float64 metres. The cross-section convention used by the
+// patterning and extraction code is: x runs across the parallel-line array
+// (the direction in which overlay shifts move whole masks), y runs along
+// the wires, z is the stack direction.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Interval is a 1-D closed interval [Lo, Hi], used for wire cross-sections
+// across the line array.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// NewInterval returns the interval spanning a and b regardless of order.
+func NewInterval(a, b float64) Interval {
+	if a > b {
+		a, b = b, a
+	}
+	return Interval{Lo: a, Hi: b}
+}
+
+// CenterWidth builds an interval from a centre coordinate and a width.
+func CenterWidth(center, width float64) Interval {
+	h := width / 2
+	return Interval{Lo: center - h, Hi: center + h}
+}
+
+// Width returns Hi-Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Center returns the midpoint.
+func (iv Interval) Center() float64 { return (iv.Lo + iv.Hi) / 2 }
+
+// Empty reports whether the interval has non-positive width.
+func (iv Interval) Empty() bool { return iv.Hi <= iv.Lo }
+
+// Shift translates the interval by d.
+func (iv Interval) Shift(d float64) Interval {
+	return Interval{Lo: iv.Lo + d, Hi: iv.Hi + d}
+}
+
+// Expand grows the interval symmetrically by d on each side (negative d
+// shrinks it).
+func (iv Interval) Expand(d float64) Interval {
+	return Interval{Lo: iv.Lo - d, Hi: iv.Hi + d}
+}
+
+// Overlaps reports whether the two intervals intersect with positive length.
+func (iv Interval) Overlaps(o Interval) bool {
+	return iv.Lo < o.Hi && o.Lo < iv.Hi
+}
+
+// Intersect returns the overlapping part; empty if they do not overlap.
+func (iv Interval) Intersect(o Interval) Interval {
+	r := Interval{Lo: math.Max(iv.Lo, o.Lo), Hi: math.Min(iv.Hi, o.Hi)}
+	if r.Empty() {
+		return Interval{}
+	}
+	return r
+}
+
+// Gap returns the clear distance between two disjoint intervals; zero if
+// they touch or overlap.
+func (iv Interval) Gap(o Interval) float64 {
+	if iv.Overlaps(o) {
+		return 0
+	}
+	if iv.Hi <= o.Lo {
+		return o.Lo - iv.Hi
+	}
+	return iv.Lo - o.Hi
+}
+
+// Contains reports whether x lies within the closed interval.
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%.3g,%.3g]", iv.Lo, iv.Hi)
+}
+
+// Point is a 2-D point.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p+q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p−q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dist returns the Euclidean distance to q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Rect is an axis-aligned rectangle with Min ≤ Max corner convention.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect returns the rectangle spanning the two corner points in any order.
+func NewRect(x0, y0, x1, y1 float64) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{Min: Point{x0, y0}, Max: Point{x1, y1}}
+}
+
+// W returns the width (x extent).
+func (r Rect) W() float64 { return r.Max.X - r.Min.X }
+
+// H returns the height (y extent).
+func (r Rect) H() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns W*H.
+func (r Rect) Area() float64 { return r.W() * r.H() }
+
+// Empty reports whether the rectangle has non-positive area.
+func (r Rect) Empty() bool { return r.W() <= 0 || r.H() <= 0 }
+
+// Center returns the midpoint of the rectangle.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Translate shifts the rectangle by d.
+func (r Rect) Translate(d Point) Rect {
+	return Rect{Min: r.Min.Add(d), Max: r.Max.Add(d)}
+}
+
+// Intersect returns the overlap of two rectangles (empty Rect if none).
+func (r Rect) Intersect(o Rect) Rect {
+	res := Rect{
+		Min: Point{math.Max(r.Min.X, o.Min.X), math.Max(r.Min.Y, o.Min.Y)},
+		Max: Point{math.Min(r.Max.X, o.Max.X), math.Min(r.Max.Y, o.Max.Y)},
+	}
+	if res.Empty() {
+		return Rect{}
+	}
+	return res
+}
+
+// Union returns the bounding box of both rectangles.
+func (r Rect) Union(o Rect) Rect {
+	if r.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return r
+	}
+	return Rect{
+		Min: Point{math.Min(r.Min.X, o.Min.X), math.Min(r.Min.Y, o.Min.Y)},
+		Max: Point{math.Max(r.Max.X, o.Max.X), math.Max(r.Max.Y, o.Max.Y)},
+	}
+}
+
+// ContainsPoint reports whether p lies within the closed rectangle.
+func (r Rect) ContainsPoint(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// XInterval returns the x-extent as an Interval.
+func (r Rect) XInterval() Interval { return Interval{r.Min.X, r.Max.X} }
+
+// YInterval returns the y-extent as an Interval.
+func (r Rect) YInterval() Interval { return Interval{r.Min.Y, r.Max.Y} }
+
+func (r Rect) String() string {
+	return fmt.Sprintf("(%.3g,%.3g)-(%.3g,%.3g)", r.Min.X, r.Min.Y, r.Max.X, r.Max.Y)
+}
+
+// Trapezoid describes a wire cross-section after etch taper: the top width
+// differs from the bottom width, height T. Used by the resistance extractor.
+type Trapezoid struct {
+	WTop, WBot, T float64
+}
+
+// Area returns the trapezoid cross-section area.
+func (tz Trapezoid) Area() float64 { return (tz.WTop + tz.WBot) / 2 * tz.T }
+
+// MeanWidth returns the width of the equal-area rectangle.
+func (tz Trapezoid) MeanWidth() float64 { return (tz.WTop + tz.WBot) / 2 }
+
+// Shrink returns the trapezoid with all faces pulled in by d (e.g. a
+// barrier liner of thickness d consuming conductor area).
+func (tz Trapezoid) Shrink(d float64) Trapezoid {
+	s := Trapezoid{WTop: tz.WTop - 2*d, WBot: tz.WBot - 2*d, T: tz.T - d}
+	if s.WTop < 0 {
+		s.WTop = 0
+	}
+	if s.WBot < 0 {
+		s.WBot = 0
+	}
+	if s.T < 0 {
+		s.T = 0
+	}
+	return s
+}
+
+// SortIntervals orders intervals by Lo then Hi, in place, and returns the
+// slice for convenience.
+func SortIntervals(ivs []Interval) []Interval {
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].Lo != ivs[j].Lo {
+			return ivs[i].Lo < ivs[j].Lo
+		}
+		return ivs[i].Hi < ivs[j].Hi
+	})
+	return ivs
+}
+
+// Disjoint reports whether the sorted intervals are pairwise
+// non-overlapping (adjacent touching allowed).
+func Disjoint(ivs []Interval) bool {
+	for i := 1; i < len(ivs); i++ {
+		if ivs[i-1].Hi > ivs[i].Lo {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,206 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	iv := CenterWidth(10, 4)
+	if iv.Lo != 8 || iv.Hi != 12 {
+		t.Fatalf("CenterWidth(10,4) = %v", iv)
+	}
+	if iv.Width() != 4 || iv.Center() != 10 {
+		t.Fatalf("width/center wrong: %v", iv)
+	}
+	if iv.Empty() {
+		t.Fatal("non-empty interval reported empty")
+	}
+	if !NewInterval(5, 3).Contains(4) {
+		t.Fatal("NewInterval should normalize order")
+	}
+}
+
+func TestIntervalGap(t *testing.T) {
+	a := Interval{0, 2}
+	b := Interval{5, 7}
+	if g := a.Gap(b); g != 3 {
+		t.Fatalf("gap = %g, want 3", g)
+	}
+	if g := b.Gap(a); g != 3 {
+		t.Fatalf("gap symmetric = %g, want 3", g)
+	}
+	if g := a.Gap(Interval{1, 3}); g != 0 {
+		t.Fatalf("overlapping gap = %g, want 0", g)
+	}
+	if g := a.Gap(Interval{2, 3}); g != 0 {
+		t.Fatalf("touching gap = %g, want 0", g)
+	}
+}
+
+func TestIntervalShiftExpand(t *testing.T) {
+	iv := Interval{1, 3}.Shift(2)
+	if iv.Lo != 3 || iv.Hi != 5 {
+		t.Fatalf("shift: %v", iv)
+	}
+	iv = iv.Expand(1)
+	if iv.Lo != 2 || iv.Hi != 6 {
+		t.Fatalf("expand: %v", iv)
+	}
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	got := Interval{0, 5}.Intersect(Interval{3, 9})
+	if got.Lo != 3 || got.Hi != 5 {
+		t.Fatalf("intersect = %v", got)
+	}
+	if !(Interval{0, 1}).Intersect(Interval{2, 3}).Empty() {
+		t.Fatal("disjoint intersect should be empty")
+	}
+}
+
+func TestGapSymmetryProperty(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		for _, v := range []float64{a, b, c, d} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		p := NewInterval(a, b)
+		q := NewInterval(c, d)
+		return p.Gap(q) == q.Gap(p) && p.Gap(q) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftPreservesWidthProperty(t *testing.T) {
+	f := func(a, w, d float64) bool {
+		if math.IsNaN(a+w+d) || math.IsInf(a+w+d, 0) ||
+			math.Abs(a) > 1e6 || math.Abs(w) > 1e6 || math.Abs(d) > 1e6 {
+			return true
+		}
+		iv := CenterWidth(a, math.Abs(w))
+		return math.Abs(iv.Shift(d).Width()-iv.Width()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(3, 4, 1, 2) // unordered corners
+	if r.Min.X != 1 || r.Min.Y != 2 || r.Max.X != 3 || r.Max.Y != 4 {
+		t.Fatalf("NewRect normalize: %v", r)
+	}
+	if r.W() != 2 || r.H() != 2 || r.Area() != 4 {
+		t.Fatalf("dims: %v", r)
+	}
+	if c := r.Center(); c.X != 2 || c.Y != 3 {
+		t.Fatalf("center: %v", c)
+	}
+	if !r.ContainsPoint(Point{2, 3}) || r.ContainsPoint(Point{0, 0}) {
+		t.Fatal("ContainsPoint wrong")
+	}
+}
+
+func TestRectIntersectUnion(t *testing.T) {
+	a := NewRect(0, 0, 4, 4)
+	b := NewRect(2, 2, 6, 6)
+	i := a.Intersect(b)
+	if i.Min.X != 2 || i.Max.X != 4 || i.Area() != 4 {
+		t.Fatalf("intersect: %v", i)
+	}
+	u := a.Union(b)
+	if u.Min.X != 0 || u.Max.X != 6 {
+		t.Fatalf("union: %v", u)
+	}
+	if !a.Intersect(NewRect(10, 10, 12, 12)).Empty() {
+		t.Fatal("disjoint intersect should be empty")
+	}
+}
+
+func TestRectUnionContainsBothProperty(t *testing.T) {
+	f := func(x0, y0, x1, y1, x2, y2, x3, y3 float64) bool {
+		vals := []float64{x0, y0, x1, y1, x2, y2, x3, y3}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				return true
+			}
+		}
+		a := NewRect(x0, y0, x1, y1)
+		b := NewRect(x2, y2, x3, y3)
+		u := a.Union(b)
+		return u.ContainsPoint(a.Min) && u.ContainsPoint(a.Max) &&
+			u.ContainsPoint(b.Min) && u.ContainsPoint(b.Max)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointOps(t *testing.T) {
+	p := Point{1, 2}.Add(Point{3, 4})
+	if p.X != 4 || p.Y != 6 {
+		t.Fatalf("Add: %v", p)
+	}
+	q := p.Sub(Point{4, 6})
+	if q.X != 0 || q.Y != 0 {
+		t.Fatalf("Sub: %v", q)
+	}
+	if d := (Point{0, 0}).Dist(Point{3, 4}); d != 5 {
+		t.Fatalf("Dist: %g", d)
+	}
+	if s := (Point{1, -2}).Scale(2); s.X != 2 || s.Y != -4 {
+		t.Fatalf("Scale: %v", s)
+	}
+}
+
+func TestTrapezoid(t *testing.T) {
+	tz := Trapezoid{WTop: 26e-9, WBot: 22e-9, T: 48e-9}
+	wantArea := (26e-9 + 22e-9) / 2 * 48e-9
+	if math.Abs(tz.Area()-wantArea) > 1e-30 {
+		t.Fatalf("area = %g want %g", tz.Area(), wantArea)
+	}
+	sh := tz.Shrink(2e-9)
+	if math.Abs(sh.WTop-22e-9) > 1e-18 || math.Abs(sh.T-46e-9) > 1e-18 {
+		t.Fatalf("shrink: %+v", sh)
+	}
+	// Shrinking beyond the size clamps at zero.
+	z := tz.Shrink(1)
+	if z.WTop != 0 || z.WBot != 0 || z.T != 0 {
+		t.Fatalf("over-shrink should clamp: %+v", z)
+	}
+}
+
+func TestTrapezoidShrinkMonotoneProperty(t *testing.T) {
+	f := func(wt, wb, h, d float64) bool {
+		wt, wb, h, d = math.Abs(wt), math.Abs(wb), math.Abs(h), math.Abs(d)
+		if math.IsNaN(wt+wb+h+d) || math.IsInf(wt+wb+h+d, 0) {
+			return true
+		}
+		tz := Trapezoid{WTop: wt, WBot: wb, T: h}
+		return tz.Shrink(d).Area() <= tz.Area()+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortAndDisjoint(t *testing.T) {
+	ivs := []Interval{{5, 6}, {0, 1}, {2, 3}}
+	SortIntervals(ivs)
+	if ivs[0].Lo != 0 || ivs[2].Lo != 5 {
+		t.Fatalf("sort order: %v", ivs)
+	}
+	if !Disjoint(ivs) {
+		t.Fatal("disjoint intervals reported overlapping")
+	}
+	ivs = append(ivs, Interval{2.5, 4})
+	SortIntervals(ivs)
+	if Disjoint(ivs) {
+		t.Fatal("overlapping intervals reported disjoint")
+	}
+}

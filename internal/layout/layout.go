@@ -1,0 +1,266 @@
+// Package layout generates the physical-design artefacts of the study: a
+// parameterized 6T SRAM cell abstraction with the paper's metal style
+// (unidirectional horizontal metal1 bit lines and power rails at minimum
+// spacing, unidirectional vertical metal2 word lines — Fig. 1b), array
+// floorplans (Fig. 3), realized-window cross-sections (Fig. 2), and a
+// GDS-flavoured text export.
+//
+// This is the stand-in for the proprietary imec cell GDSII: the
+// variability study only consumes M1 track geometry, which this generator
+// produces from the technology description.
+package layout
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mpsram/internal/geom"
+	"mpsram/internal/litho"
+	"mpsram/internal/tech"
+)
+
+// Layer identifies a drawing layer.
+type Layer int
+
+const (
+	LayerM1 Layer = iota
+	LayerM2
+	LayerVia1
+	LayerDiff
+	LayerPoly
+)
+
+func (l Layer) String() string {
+	switch l {
+	case LayerM1:
+		return "metal1"
+	case LayerM2:
+		return "metal2"
+	case LayerVia1:
+		return "via1"
+	case LayerDiff:
+		return "diff"
+	case LayerPoly:
+		return "poly"
+	default:
+		return fmt.Sprintf("layer%d", int(l))
+	}
+}
+
+// Shape is one rectangle on a layer, tagged with its net.
+type Shape struct {
+	Layer Layer
+	Net   string
+	Rect  geom.Rect
+}
+
+// Cell is a named collection of shapes.
+type Cell struct {
+	Name   string
+	Shapes []Shape
+}
+
+// Bounds returns the bounding box of all shapes.
+func (c *Cell) Bounds() geom.Rect {
+	var b geom.Rect
+	for _, s := range c.Shapes {
+		b = b.Union(s.Rect)
+	}
+	return b
+}
+
+// OnLayer returns the shapes on one layer.
+func (c *Cell) OnLayer(l Layer) []Shape {
+	var out []Shape
+	for _, s := range c.Shapes {
+		if s.Layer == l {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// m1TrackNets is the vertical M1 track order within one cell, bottom to
+// top: the bit-line pair embedded in the power grid (paper Fig. 1b).
+var m1TrackNets = []string{"VSS", "BL", "VDD", "BLB", "VSS"}
+
+// SRAM6TCell generates the M1/M2 abstraction of the high-density 6T cell:
+// horizontal M1 tracks (bit lines + rails) across the cell x-pitch and one
+// vertical M2 word-line strap.
+func SRAM6TCell(p tech.Process) *Cell {
+	m := p.M1
+	c := &Cell{Name: "sram6t_hd"}
+	for i, net := range m1TrackNets {
+		yc := (float64(i) + 0.5) * m.Pitch
+		c.Shapes = append(c.Shapes, Shape{
+			Layer: LayerM1,
+			Net:   net,
+			Rect:  geom.NewRect(0, yc-m.Width/2, p.Cell.XPitch, yc+m.Width/2),
+		})
+	}
+	// Word line: vertical M2 through the cell centre.
+	wlW := m.Width
+	xc := p.Cell.XPitch / 2
+	c.Shapes = append(c.Shapes, Shape{
+		Layer: LayerM2,
+		Net:   "WL",
+		Rect:  geom.NewRect(xc-wlW/2, 0, xc+wlW/2, p.Cell.YPitch),
+	})
+	return c
+}
+
+// Array tiles the 6T cell into a rows×cols floorplan (rows = word lines =
+// cells along a bit line; cols = bit-line pairs). Shapes are flattened;
+// abutting M1 tracks of horizontally adjacent cells merge into continuous
+// bit lines.
+func Array(p tech.Process, rows, cols int) (*Cell, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("layout: bad array %dx%d", rows, cols)
+	}
+	base := SRAM6TCell(p)
+	arr := &Cell{Name: fmt.Sprintf("array_%dx%d", cols, rows)}
+	for r := 0; r < rows; r++ {
+		dx := float64(r) * p.Cell.XPitch
+		for cIdx := 0; cIdx < cols; cIdx++ {
+			dy := float64(cIdx) * p.Cell.YPitch
+			for _, s := range base.Shapes {
+				ns := s
+				ns.Rect = s.Rect.Translate(geom.Point{X: dx, Y: dy})
+				arr.Shapes = append(arr.Shapes, ns)
+			}
+		}
+	}
+	arr.mergeHorizontalM1()
+	return arr, nil
+}
+
+// mergeHorizontalM1 merges x-abutting same-net M1 rectangles into single
+// continuous wires (the bit lines run the full array).
+func (c *Cell) mergeHorizontalM1() {
+	type key struct {
+		lo, hi float64
+		net    string
+	}
+	groups := map[key][]geom.Rect{}
+	var rest []Shape
+	for _, s := range c.Shapes {
+		if s.Layer != LayerM1 {
+			rest = append(rest, s)
+			continue
+		}
+		k := key{s.Rect.Min.Y, s.Rect.Max.Y, s.Net}
+		groups[k] = append(groups[k], s.Rect)
+	}
+	var keys []key
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].lo != keys[j].lo {
+			return keys[i].lo < keys[j].lo
+		}
+		return keys[i].net < keys[j].net
+	})
+	merged := rest
+	for _, k := range keys {
+		rects := groups[k]
+		sort.Slice(rects, func(i, j int) bool { return rects[i].Min.X < rects[j].Min.X })
+		cur := rects[0]
+		for _, r := range rects[1:] {
+			if r.Min.X <= cur.Max.X+1e-12 {
+				if r.Max.X > cur.Max.X {
+					cur.Max.X = r.Max.X
+				}
+				continue
+			}
+			merged = append(merged, Shape{Layer: LayerM1, Net: k.net, Rect: cur})
+			cur = r
+		}
+		merged = append(merged, Shape{Layer: LayerM1, Net: k.net, Rect: cur})
+	}
+	c.Shapes = merged
+}
+
+// FromWindow renders a realized patterning window (litho cross-section) as
+// wires of the given length — the Fig. 2 "layout distortion" artefact.
+func FromWindow(p tech.Process, win litho.Window, length float64) *Cell {
+	c := &Cell{Name: fmt.Sprintf("window_%v", win.Option)}
+	for _, w := range win.Wires {
+		c.Shapes = append(c.Shapes, Shape{
+			Layer: LayerM1,
+			Net:   fmt.Sprintf("%v(%v)", w.Net, w.Mask),
+			Rect:  geom.NewRect(0, w.Span.Lo, length, w.Span.Hi),
+		})
+	}
+	return c
+}
+
+// WriteGDSText emits the cell in a GDSII-flavoured text stream (one BOUNDARY
+// record per shape, nm units).
+func (c *Cell) WriteGDSText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "HEADER 600\nBGNLIB\nLIBNAME %s\nUNITS 1e-9 1e-9\nBGNSTR\nSTRNAME %s\n",
+		c.Name, c.Name); err != nil {
+		return err
+	}
+	for _, s := range c.Shapes {
+		r := s.Rect
+		if _, err := fmt.Fprintf(w,
+			"BOUNDARY\nLAYER %d\nDATATYPE 0\nPROPATTR 1\nPROPVALUE %s\nXY %0.1f %0.1f %0.1f %0.1f %0.1f %0.1f %0.1f %0.1f %0.1f %0.1f\nENDEL\n",
+			int(s.Layer), s.Net,
+			r.Min.X*1e9, r.Min.Y*1e9,
+			r.Max.X*1e9, r.Min.Y*1e9,
+			r.Max.X*1e9, r.Max.Y*1e9,
+			r.Min.X*1e9, r.Max.Y*1e9,
+			r.Min.X*1e9, r.Min.Y*1e9); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprint(w, "ENDSTR\nENDLIB\n")
+	return err
+}
+
+// Summary describes the cell for the Fig. 3 style overview.
+func (c *Cell) Summary() string {
+	b := c.Bounds()
+	var m1, m2 int
+	for _, s := range c.Shapes {
+		switch s.Layer {
+		case LayerM1:
+			m1++
+		case LayerM2:
+			m2++
+		}
+	}
+	return fmt.Sprintf("%s: %.2f x %.2f um, %d shapes (%d M1, %d M2)",
+		c.Name, b.W()*1e6, b.H()*1e6, len(c.Shapes), m1, m2)
+}
+
+// ASCIISection draws the M1 cross-section of a window cell as a one-line
+// track diagram, used by the CLI's fig2 rendering.
+func ASCIISection(win litho.Window, colsPerNM float64) string {
+	if colsPerNM <= 0 {
+		colsPerNM = 1
+	}
+	lo := win.Wires[0].Span.Lo
+	var b strings.Builder
+	cursor := lo
+	for i, w := range win.Wires {
+		gap := int((w.Span.Lo - cursor) * 1e9 * colsPerNM)
+		if gap > 0 {
+			b.WriteString(strings.Repeat(".", gap))
+		}
+		width := int(w.Width() * 1e9 * colsPerNM)
+		if width < 1 {
+			width = 1
+		}
+		ch := "#"
+		if i == win.Victim {
+			ch = "B"
+		}
+		b.WriteString(strings.Repeat(ch, width))
+		cursor = w.Span.Hi
+	}
+	return b.String()
+}

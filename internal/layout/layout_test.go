@@ -1,0 +1,156 @@
+package layout
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mpsram/internal/litho"
+	"mpsram/internal/tech"
+)
+
+func TestSRAM6TCellTracks(t *testing.T) {
+	p := tech.N10()
+	c := SRAM6TCell(p)
+	m1 := c.OnLayer(LayerM1)
+	if len(m1) != 5 {
+		t.Fatalf("M1 track count %d, want 5", len(m1))
+	}
+	// The cell contains exactly one BL and one BLB plus the power grid.
+	nets := map[string]int{}
+	for _, s := range m1 {
+		nets[s.Net]++
+		if math.Abs(s.Rect.H()-p.M1.Width) > 1e-15 {
+			t.Fatalf("track %s width %g", s.Net, s.Rect.H())
+		}
+		if math.Abs(s.Rect.W()-p.Cell.XPitch) > 1e-15 {
+			t.Fatalf("track %s length %g", s.Net, s.Rect.W())
+		}
+	}
+	if nets["BL"] != 1 || nets["BLB"] != 1 || nets["VSS"] != 2 || nets["VDD"] != 1 {
+		t.Fatalf("net mix %v", nets)
+	}
+	// Tracks sit on the M1 pitch grid.
+	for i, s := range m1 {
+		wantC := (float64(i) + 0.5) * p.M1.Pitch
+		if math.Abs(s.Rect.Center().Y-wantC) > 1e-15 {
+			t.Fatalf("track %d centre %g, want %g", i, s.Rect.Center().Y, wantC)
+		}
+	}
+	if len(c.OnLayer(LayerM2)) != 1 {
+		t.Fatal("missing word line")
+	}
+	if !strings.Contains(c.Summary(), "M1") {
+		t.Fatal("summary")
+	}
+}
+
+func TestArrayMergesBitLines(t *testing.T) {
+	p := tech.N10()
+	arr, err := Array(p, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After merging, each track of each column is one continuous wire:
+	// 5 tracks × 2 columns on M1, plus 16 M2 word lines per column.
+	m1 := arr.OnLayer(LayerM1)
+	if len(m1) != 5*2 {
+		t.Fatalf("merged M1 count %d, want 10", len(m1))
+	}
+	for _, s := range m1 {
+		if math.Abs(s.Rect.W()-16*p.Cell.XPitch) > 1e-12 {
+			t.Fatalf("bit line length %g, want full array %g", s.Rect.W(), 16*p.Cell.XPitch)
+		}
+	}
+	if got := len(arr.OnLayer(LayerM2)); got != 32 {
+		t.Fatalf("word-line count %d, want 32", got)
+	}
+	// Bounds match the floorplan.
+	b := arr.Bounds()
+	if math.Abs(b.W()-16*p.Cell.XPitch) > 1e-12 || math.Abs(b.H()-2*p.Cell.YPitch) > 1e-12 {
+		t.Fatalf("bounds %v", b)
+	}
+	if _, err := Array(p, 0, 1); err == nil {
+		t.Fatal("bad array size must error")
+	}
+}
+
+func TestFig3ArraySizes(t *testing.T) {
+	// The paper's DOE: 10 bit-line pairs × {16, 64, 256, 1024} word
+	// lines must all floorplan cleanly.
+	p := tech.N10()
+	for _, n := range []int{16, 64, 256, 1024} {
+		arr, err := Array(p, n, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if arr.Bounds().Empty() {
+			t.Fatalf("empty array n=%d", n)
+		}
+	}
+}
+
+func TestFromWindowDistortion(t *testing.T) {
+	p := tech.N10()
+	s := litho.Sample{CDA: 3e-9, CDB: 3e-9, CDC: 3e-9, OLB: 8e-9, OLC: -8e-9}
+	win, err := litho.Realize(p, litho.LE3, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := FromWindow(p, win, 1e-6)
+	if len(c.Shapes) != len(win.Wires) {
+		t.Fatal("shape count mismatch")
+	}
+	// The victim's rect reflects the distorted width.
+	v := c.Shapes[win.Victim]
+	if math.Abs(v.Rect.H()-(p.M1.Width+3e-9)) > 1e-15 {
+		t.Fatalf("victim width %g", v.Rect.H())
+	}
+	if !strings.Contains(v.Net, "BL") {
+		t.Fatalf("victim net %q", v.Net)
+	}
+}
+
+func TestWriteGDSText(t *testing.T) {
+	p := tech.N10()
+	c := SRAM6TCell(p)
+	var b strings.Builder
+	if err := c.WriteGDSText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"HEADER 600", "STRNAME sram6t_hd", "BOUNDARY", "ENDLIB", "PROPVALUE BL"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("GDS text missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "BOUNDARY"); got != len(c.Shapes) {
+		t.Fatalf("boundary count %d, want %d", got, len(c.Shapes))
+	}
+}
+
+func TestASCIISection(t *testing.T) {
+	p := tech.N10()
+	nom, _ := litho.Realize(p, litho.EUV, litho.Nominal)
+	art := ASCIISection(nom, 0.5)
+	if !strings.Contains(art, "B") || !strings.Contains(art, "#") || !strings.Contains(art, ".") {
+		t.Fatalf("ascii section %q", art)
+	}
+	// A shifted window shows an asymmetric gap pattern.
+	wc, _ := litho.Realize(p, litho.LE3, litho.Sample{OLB: 8e-9})
+	if ASCIISection(wc, 0.5) == art {
+		t.Fatal("distorted window renders identically to nominal")
+	}
+	// Degenerate scale falls back.
+	if ASCIISection(nom, -1) == "" {
+		t.Fatal("fallback scale broken")
+	}
+}
+
+func TestLayerStrings(t *testing.T) {
+	if LayerM1.String() != "metal1" || LayerM2.String() != "metal2" ||
+		LayerVia1.String() != "via1" || LayerDiff.String() != "diff" ||
+		LayerPoly.String() != "poly" || Layer(99).String() != "layer99" {
+		t.Fatal("layer names")
+	}
+}

@@ -1,0 +1,60 @@
+package litho
+
+import (
+	"math"
+	"testing"
+
+	"mpsram/internal/tech"
+)
+
+func TestThicknessExtensionOffByDefault(t *testing.T) {
+	p := tech.N10()
+	if p.Var.Thk3Sigma != 0 {
+		t.Fatal("preset must keep the thickness extension disabled")
+	}
+	for _, o := range AllOptions {
+		for _, prm := range Params(p, o) {
+			if prm.Name == "THK" {
+				t.Fatalf("%v: THK param present with extension disabled", o)
+			}
+		}
+	}
+}
+
+func TestThicknessExtensionAddsParam(t *testing.T) {
+	p := tech.N10()
+	p.Var.Thk3Sigma = 2e-9
+	for _, o := range AllOptions {
+		found := false
+		for _, prm := range Params(p, o) {
+			if prm.Name == "THK" {
+				found = true
+				if math.Abs(prm.Sigma-2e-9/3) > 1e-18 {
+					t.Fatalf("%v: THK sigma %g", o, prm.Sigma)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("%v: THK param missing", o)
+		}
+	}
+	// Unknown options still return nil.
+	if Params(p, Option(42)) != nil {
+		t.Fatal("unknown option grew params")
+	}
+}
+
+func TestThicknessPropagatesToWindow(t *testing.T) {
+	p := tech.N10()
+	w, err := Realize(p, EUV, Sample{DThk: 1.5e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.DThk != 1.5e-9 {
+		t.Fatalf("window DThk %g", w.DThk)
+	}
+	// Collapsing thickness is rejected.
+	if _, err := Realize(p, EUV, Sample{DThk: -p.M1.Thickness}); err == nil {
+		t.Fatal("metal collapse accepted")
+	}
+}

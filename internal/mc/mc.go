@@ -1,0 +1,178 @@
+// Package mc implements the Monte-Carlo engine of paper Section III-B:
+// Gaussian sampling of the per-option process-variation parameters,
+// extraction of the resulting RCbl variation ratios, evaluation of the
+// analytical tdp formula, and aggregation into distributions (Fig. 5) and
+// standard deviations (Table IV).
+//
+// Sampling is deterministic for a given seed and independent of the
+// worker count: every sample index derives its own PRNG stream, so
+// parallel runs are exactly reproducible.
+package mc
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"mpsram/internal/analytic"
+	"mpsram/internal/extract"
+	"mpsram/internal/litho"
+	"mpsram/internal/stats"
+	"mpsram/internal/tech"
+)
+
+// Config tunes a Monte-Carlo run.
+type Config struct {
+	Samples int
+	Seed    int64
+	Workers int // 0 = GOMAXPROCS
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SampleFunc evaluates one Monte-Carlo trial with the given PRNG and
+// returns the observable plus ok=false when the trial must be rejected
+// (e.g. collapsed geometry).
+type SampleFunc func(rng *rand.Rand) (float64, bool)
+
+// Result aggregates a run.
+type Result struct {
+	Values   []float64 // accepted observations, sorted by Summarize
+	Summary  stats.Summary
+	Rejected int
+}
+
+// Run executes cfg.Samples trials of f. Each trial i uses an independent
+// PRNG seeded from (cfg.Seed, i), making results bit-identical across
+// worker counts.
+func Run(cfg Config, f SampleFunc) (Result, error) {
+	if cfg.Samples < 1 {
+		return Result{}, fmt.Errorf("mc: sample count %d < 1", cfg.Samples)
+	}
+	type out struct {
+		v  float64
+		ok bool
+	}
+	results := make([]out, cfg.Samples)
+	var wg sync.WaitGroup
+	nw := cfg.workers()
+	chunk := (cfg.Samples + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > cfg.Samples {
+			hi = cfg.Samples
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				mix := int64(uint64(i+1) * 0x9E3779B97F4A7C15)
+				rng := rand.New(rand.NewSource(cfg.Seed ^ mix))
+				v, ok := f(rng)
+				results[i] = out{v, ok}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	res := Result{Values: make([]float64, 0, cfg.Samples)}
+	for _, r := range results {
+		if r.ok {
+			res.Values = append(res.Values, r.v)
+		} else {
+			res.Rejected++
+		}
+	}
+	if len(res.Values) == 0 {
+		return res, fmt.Errorf("mc: every one of %d trials was rejected", cfg.Samples)
+	}
+	res.Summary = stats.Summarize(res.Values)
+	return res, nil
+}
+
+// SampleRatios draws one Gaussian process-variation sample for option o
+// and returns the extracted variability ratios.
+func SampleRatios(p tech.Process, o litho.Option, cm extract.CapModel, rng *rand.Rand) (extract.Ratios, bool) {
+	var s litho.Sample
+	for _, prm := range litho.Params(p, o) {
+		prm.Apply(&s, rng.NormFloat64()*prm.Sigma)
+	}
+	r, err := extract.VarRatios(p, o, s, cm)
+	if err != nil {
+		return extract.Ratios{}, false
+	}
+	return r, true
+}
+
+// TdpDistribution runs the paper's Monte-Carlo: sample process variation
+// for option o, extract Rvar/Cvar, evaluate the analytical tdp formula at
+// array size n. Returns the aggregated distribution of tdp in percent.
+func TdpDistribution(p tech.Process, o litho.Option, m analytic.Params, cm extract.CapModel, n int, cfg Config) (Result, error) {
+	if err := m.Validate(); err != nil {
+		return Result{}, err
+	}
+	return Run(cfg, func(rng *rand.Rand) (float64, bool) {
+		r, ok := SampleRatios(p, o, cm, rng)
+		if !ok {
+			return 0, false
+		}
+		return m.TdpPct(n, r.Rvar, r.Cvar), true
+	})
+}
+
+// Histogram bins the result values into bins uniform bins spanning
+// slightly beyond the observed range (Fig. 5 rendering).
+func (r Result) Histogram(bins int) (*stats.Histogram, error) {
+	lo, hi := r.Summary.Min, r.Summary.Max
+	span := hi - lo
+	if span <= 0 {
+		span = 1e-9
+	}
+	h, err := stats.NewHistogram(lo-0.02*span, hi+0.02*span, bins)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range r.Values {
+		h.Add(v)
+	}
+	return h, nil
+}
+
+// SigmaSweepRow is one Table IV row: an option/overlay configuration and
+// the resulting tdp standard deviation.
+type SigmaSweepRow struct {
+	Option litho.Option
+	OL     float64 // LE3 overlay 3σ budget (0 for SADP/EUV)
+	Sigma  float64 // std of tdp in percentage points
+	Mean   float64
+}
+
+// SigmaSweep reproduces Table IV: the tdp σ for LE3 at each overlay budget
+// plus SADP and EUV, all at array size n.
+func SigmaSweep(p tech.Process, m analytic.Params, cm extract.CapModel, n int, olBudgets []float64, cfg Config) ([]SigmaSweepRow, error) {
+	var rows []SigmaSweepRow
+	for _, ol := range olBudgets {
+		res, err := TdpDistribution(p.WithOL(ol), litho.LE3, m, cm, n, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("mc: LE3 @OL=%g: %w", ol, err)
+		}
+		rows = append(rows, SigmaSweepRow{Option: litho.LE3, OL: ol, Sigma: res.Summary.Std, Mean: res.Summary.Mean})
+	}
+	for _, o := range []litho.Option{litho.SADP, litho.EUV} {
+		res, err := TdpDistribution(p, o, m, cm, n, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("mc: %v: %w", o, err)
+		}
+		rows = append(rows, SigmaSweepRow{Option: o, Sigma: res.Summary.Std, Mean: res.Summary.Mean})
+	}
+	return rows, nil
+}

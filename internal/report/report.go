@@ -1,0 +1,145 @@
+// Package report renders experiment results as machine-readable CSV and
+// Markdown tables, complementing the paper-style plain-text formatters in
+// internal/exp. The CLI's -format flag routes through here so every
+// experiment can feed spreadsheets or docs directly.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a generic column-oriented result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Append adds a row; the cell count must match the header.
+func (t *Table) Append(cells ...string) error {
+	if len(cells) != len(t.Columns) {
+		return fmt.Errorf("report: row has %d cells, table has %d columns", len(cells), len(t.Columns))
+	}
+	t.Rows = append(t.Rows, cells)
+	return nil
+}
+
+// Appendf adds a row of formatted values; each value is rendered with %v
+// (floats with %.4g).
+func (t *Table) Appendf(values ...any) error {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = fmt.Sprintf("%.6g", x)
+		case float32:
+			cells[i] = fmt.Sprintf("%.6g", x)
+		default:
+			cells[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	return t.Append(cells...)
+}
+
+// csvEscape quotes a cell when it contains separators, quotes or newlines
+// (RFC 4180).
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n\r") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// WriteCSV emits the table as RFC-4180 CSV with a header row. The title
+// becomes a leading comment line when non-empty.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		esc := make([]string, len(cells))
+		for i, c := range cells {
+			esc[i] = csvEscape(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(esc, ","))
+		return err
+	}
+	if err := line(t.Columns); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := line(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMarkdown emits the table as a GitHub-flavoured Markdown table.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "### %s\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "|%s|\n", strings.Join(sep, "|")); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(r, " | ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Format selects an output encoding.
+type Format int
+
+const (
+	FormatText Format = iota // paper-style plain text (handled by exp)
+	FormatCSV
+	FormatMarkdown
+)
+
+// ParseFormat maps a CLI flag value to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "", "text":
+		return FormatText, nil
+	case "csv":
+		return FormatCSV, nil
+	case "md", "markdown":
+		return FormatMarkdown, nil
+	default:
+		return FormatText, fmt.Errorf("report: unknown format %q (want text, csv or md)", s)
+	}
+}
+
+// Write emits the table in the chosen non-text format.
+func (t *Table) Write(w io.Writer, f Format) error {
+	switch f {
+	case FormatCSV:
+		return t.WriteCSV(w)
+	case FormatMarkdown:
+		return t.WriteMarkdown(w)
+	default:
+		return fmt.Errorf("report: table has no plain-text renderer (use the exp formatters)")
+	}
+}

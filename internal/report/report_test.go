@@ -1,0 +1,93 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func build(t *testing.T) *Table {
+	t.Helper()
+	tb := New("demo", "name", "value")
+	if err := tb.Append("plain", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Appendf("float", 3.14159); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Append(`comma, "quote"`, "2"); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestAppendArity(t *testing.T) {
+	tb := New("x", "a", "b")
+	if err := tb.Append("only one"); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if err := tb.Appendf(1, 2, 3); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := build(t).WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, w := range []string{
+		"# demo",
+		"name,value",
+		"plain,1",
+		"float,3.14159",
+		`"comma, ""quote""",2`,
+	} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("CSV missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var b strings.Builder
+	if err := build(t).WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, w := range []string{"### demo", "| name | value |", "|---|---|", "| plain | 1 |"} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("markdown missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	cases := map[string]Format{
+		"": FormatText, "text": FormatText,
+		"csv": FormatCSV, "md": FormatMarkdown, "markdown": FormatMarkdown,
+	}
+	for in, want := range cases {
+		got, err := ParseFormat(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFormat(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestWriteDispatch(t *testing.T) {
+	tb := build(t)
+	var b strings.Builder
+	if err := tb.Write(&b, FormatCSV); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Write(&b, FormatMarkdown); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Write(&b, FormatText); err == nil {
+		t.Fatal("text dispatch must defer to exp formatters")
+	}
+}

@@ -1,0 +1,233 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAtNNZ(t *testing.T) {
+	m := NewMatrix(3)
+	m.Add(0, 0, 2)
+	m.Add(0, 2, 1)
+	m.Add(0, 0, 3) // accumulate
+	m.Add(1, 1, 4)
+	m.Add(2, 2, 0) // zero is dropped
+	if got := m.At(0, 0); got != 5 {
+		t.Fatalf("At(0,0) = %g", got)
+	}
+	if got := m.At(0, 1); got != 0 {
+		t.Fatalf("At(0,1) = %g", got)
+	}
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d", m.NNZ())
+	}
+}
+
+func TestSolveIdentity(t *testing.T) {
+	m := NewMatrix(4)
+	for i := 0; i < 4; i++ {
+		m.Add(i, i, 1)
+	}
+	x, err := m.Solve([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if math.Abs(v-float64(i+1)) > 1e-15 {
+			t.Fatalf("x = %v", x)
+		}
+	}
+}
+
+func TestSolveTridiagonal(t *testing.T) {
+	// The classic RC-ladder pattern: -1, 2, -1.
+	n := 50
+	m := NewMatrix(n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		m.Add(i, i, 2)
+		if i > 0 {
+			m.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			m.Add(i, i+1, -1)
+		}
+		b[i] = 1
+	}
+	x, err := m.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic solution of −x'' = 1 with zero Dirichlet ends (discrete):
+	// x_i = (i+1)(n−i)/2.
+	for i := 0; i < n; i++ {
+		want := float64(i+1) * float64(n-i) / 2
+		if math.Abs(x[i]-want) > 1e-9*want {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], want)
+		}
+	}
+}
+
+// randomDiagDominant builds a random strictly diagonally dominant sparse
+// matrix (the class the SPICE engine produces).
+func randomDiagDominant(rng *rand.Rand, n, extraPerRow int) (*Matrix, [][]float64) {
+	m := NewMatrix(n)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		var off float64
+		// Banded part plus a few random long-range couplings (like the
+		// VDD/word-line nodes in the SRAM netlist).
+		cols := []int{i - 1, i + 1}
+		for k := 0; k < extraPerRow; k++ {
+			cols = append(cols, rng.Intn(n))
+		}
+		for _, j := range cols {
+			if j < 0 || j >= n || j == i {
+				continue
+			}
+			v := rng.Float64()*2 - 1
+			m.Add(i, j, v)
+			d[i][j] += v
+			off += math.Abs(d[i][j])
+		}
+		diag := off + 0.5 + rng.Float64()
+		m.Add(i, i, diag)
+		d[i][i] += diag
+	}
+	return m, d
+}
+
+func TestSolveMatchesDenseRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(60)
+		m, d := randomDiagDominant(rng, n, 2)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		bCopy := append([]float64(nil), b...)
+		xs, err := m.Solve(b)
+		if err != nil {
+			t.Fatalf("trial %d: sparse: %v", trial, err)
+		}
+		xd, err := DenseSolve(d, bCopy)
+		if err != nil {
+			t.Fatalf("trial %d: dense: %v", trial, err)
+		}
+		for i := range xs {
+			if math.Abs(xs[i]-xd[i]) > 1e-8*(1+math.Abs(xd[i])) {
+				t.Fatalf("trial %d: x[%d] sparse %g vs dense %g", trial, i, xs[i], xd[i])
+			}
+		}
+	}
+}
+
+func TestSolveResidualProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(40)
+		m, _ := randomDiagDominant(r, n, 1)
+		orig := m.Clone()
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		bOrig := append([]float64(nil), b...)
+		x, err := m.Solve(b)
+		if err != nil {
+			return false
+		}
+		res := orig.MulVec(x)
+		for i := range res {
+			if math.Abs(res[i]-bOrig[i]) > 1e-8*(1+math.Abs(bOrig[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	for trial := 0; trial < 40; trial++ {
+		if !f(rng.Int63()) {
+			t.Fatal("residual check failed")
+		}
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	m := NewMatrix(2)
+	m.Add(0, 1, 1)
+	m.Add(1, 0, 1)
+	// Zero diagonal → rejected (no pivoting by design).
+	if _, err := m.Solve([]float64{1, 1}); err == nil {
+		t.Fatal("zero diagonal must error")
+	}
+	m2 := NewMatrix(2)
+	m2.Add(0, 0, 1)
+	m2.Add(1, 1, 1)
+	if _, err := m2.Solve([]float64{1}); err == nil {
+		t.Fatal("bad rhs length must error")
+	}
+	if _, err := DenseSolve([][]float64{{0, 1}, {0, 1}}, []float64{1, 1}); err == nil {
+		t.Fatal("singular dense must error")
+	}
+	if _, err := DenseSolve(nil, nil); err == nil {
+		t.Fatal("empty dense must error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewMatrix(2)
+	m.Add(0, 0, 1)
+	m.Add(1, 1, 1)
+	c := m.Clone()
+	c.Add(0, 0, 5)
+	if m.At(0, 0) != 1 || c.At(0, 0) != 6 {
+		t.Fatal("clone not independent")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrix(2)
+	m.Add(0, 0, 2)
+	m.Add(0, 1, 1)
+	m.Add(1, 0, -1)
+	m.Add(1, 1, 3)
+	y := m.MulVec([]float64{1, 2})
+	if y[0] != 4 || y[1] != 5 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func TestToDense(t *testing.T) {
+	m := NewMatrix(2)
+	m.Add(0, 1, 7)
+	d := m.ToDense()
+	if d[0][1] != 7 || d[0][0] != 0 {
+		t.Fatalf("ToDense = %v", d)
+	}
+}
+
+func TestDensePermutationProperty(t *testing.T) {
+	// DenseSolve with partial pivoting handles row-swapped systems the
+	// diagonal-pivot sparse solver cannot.
+	f := func(a, b, c float64) bool {
+		if math.IsNaN(a+b+c) || math.IsInf(a+b+c, 0) {
+			return true
+		}
+		// [[0, 1], [1, 0]] x = [a, b] → x = [b, a]
+		x, err := DenseSolve([][]float64{{0, 1}, {1, 0}}, []float64{a, b})
+		if err != nil {
+			return false
+		}
+		return x[0] == b && x[1] == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+// Waveform post-processing: the .measure-style utilities (delay between
+// node events, slew, peak) and CSV export for external plotting.
+package spice
+
+import (
+	"fmt"
+	"io"
+
+	"mpsram/internal/circuit"
+)
+
+// Cross describes a measurement edge.
+type Cross struct {
+	Node      circuit.NodeID
+	Threshold float64
+	Dir       int // +1 rising, −1 falling
+}
+
+// Delay returns t(to-edge) − t(from-edge), the SPICE
+// ".measure trig/targ" idiom.
+func (r *Result) Delay(from, to Cross) (float64, error) {
+	wf := r.NodeWave(from.Node)
+	wt := r.NodeWave(to.Node)
+	if wf == nil || wt == nil {
+		return 0, fmt.Errorf("spice: delay endpoints not probed")
+	}
+	t0, err := r.FirstCrossing(func(k int) float64 { return wf[k] }, from.Threshold, from.Dir)
+	if err != nil {
+		return 0, fmt.Errorf("spice: trigger edge: %w", err)
+	}
+	t1, err := r.FirstCrossing(func(k int) float64 { return wt[k] }, to.Threshold, to.Dir)
+	if err != nil {
+		return 0, fmt.Errorf("spice: target edge: %w", err)
+	}
+	return t1 - t0, nil
+}
+
+// Slew returns the transition time of a node between two levels (e.g.
+// 10 %→90 %); dir selects rising (+1) or falling (−1) edges.
+func (r *Result) Slew(node circuit.NodeID, lowLevel, highLevel float64, dir int) (float64, error) {
+	w := r.NodeWave(node)
+	if w == nil {
+		return 0, fmt.Errorf("spice: node not probed")
+	}
+	if lowLevel >= highLevel {
+		return 0, fmt.Errorf("spice: slew levels inverted (%g ≥ %g)", lowLevel, highLevel)
+	}
+	first, second := lowLevel, highLevel
+	if dir < 0 {
+		first, second = highLevel, lowLevel
+	}
+	t0, err := r.FirstCrossing(func(k int) float64 { return w[k] }, first, dir)
+	if err != nil {
+		return 0, err
+	}
+	t1, err := r.FirstCrossing(func(k int) float64 { return w[k] }, second, dir)
+	if err != nil {
+		return 0, err
+	}
+	return t1 - t0, nil
+}
+
+// Peak returns the maximum (dir ≥ 0) or minimum (dir < 0) value of a
+// probed node and the time it occurs.
+func (r *Result) Peak(node circuit.NodeID, dir int) (value, at float64, err error) {
+	w := r.NodeWave(node)
+	if w == nil {
+		return 0, 0, fmt.Errorf("spice: node not probed")
+	}
+	value = w[0]
+	at = r.T[0]
+	for k, v := range w {
+		if (dir >= 0 && v > value) || (dir < 0 && v < value) {
+			value, at = v, r.T[k]
+		}
+	}
+	return value, at, nil
+}
+
+// WriteCSV dumps all probed waveforms as a time-indexed CSV using the
+// netlist's node names.
+func (r *Result) WriteCSV(w io.Writer, names func(circuit.NodeID) string) error {
+	if names == nil {
+		names = func(id circuit.NodeID) string { return fmt.Sprintf("n%d", int(id)) }
+	}
+	if _, err := fmt.Fprint(w, "t"); err != nil {
+		return err
+	}
+	for _, n := range r.Nodes {
+		if _, err := fmt.Fprintf(w, ",%s", names(n)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for k := range r.T {
+		if _, err := fmt.Fprintf(w, "%.6e", r.T[k]); err != nil {
+			return err
+		}
+		for i := range r.Nodes {
+			if _, err := fmt.Fprintf(w, ",%.6e", r.V[i][k]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package spice
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mpsram/internal/circuit"
+)
+
+// rcPair builds two cascaded RC stages driven by a step, giving two nodes
+// with a known stage delay for measurement tests.
+func rcPair(t *testing.T) (*Result, circuit.NodeID, circuit.NodeID, *circuit.Netlist) {
+	t.Helper()
+	n := circuit.New()
+	drv := n.Node("drv")
+	a := n.Node("a")
+	b := n.Node("b")
+	n.AddV("src", drv, circuit.Ground, circuit.Pulse{V0: 0, V1: 1, Rise: 1e-15, Width: 1})
+	n.AddR("r1", drv, a, 1e3)
+	n.AddC("c1", a, circuit.Ground, 1e-12)
+	n.AddR("r2", a, b, 1e3)
+	n.AddC("c2", b, circuit.Ground, 1e-12)
+	e, err := New(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Transient(20e-9, 2e-12, []circuit.NodeID{a, b}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, a, b, n
+}
+
+func TestDelayBetweenNodes(t *testing.T) {
+	res, a, b, _ := rcPair(t)
+	d, err := res.Delay(
+		Cross{Node: a, Threshold: 0.5, Dir: +1},
+		Cross{Node: b, Threshold: 0.5, Dir: +1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 || d > 5e-9 {
+		t.Fatalf("stage delay %g out of band", d)
+	}
+	// Unprobed node errors.
+	if _, err := res.Delay(Cross{Node: 99, Threshold: 0.5, Dir: 1},
+		Cross{Node: b, Threshold: 0.5, Dir: 1}); err == nil {
+		t.Fatal("unprobed trigger accepted")
+	}
+	// Unreachable threshold errors.
+	if _, err := res.Delay(Cross{Node: a, Threshold: 0.5, Dir: 1},
+		Cross{Node: b, Threshold: 2.0, Dir: 1}); err == nil {
+		t.Fatal("unreachable target accepted")
+	}
+}
+
+func TestSlewRising(t *testing.T) {
+	res, a, _, _ := rcPair(t)
+	s, err := res.Slew(a, 0.1, 0.9, +1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For a single-pole RC the 10–90 rise is ln(9)·τ ≈ 2.197 ns, but
+	// node a is loaded by the second stage; just pin the band.
+	if s < 1e-9 || s > 6e-9 {
+		t.Fatalf("slew %g out of band", s)
+	}
+	if _, err := res.Slew(a, 0.9, 0.1, +1); err == nil {
+		t.Fatal("inverted levels accepted")
+	}
+	if _, err := res.Slew(99, 0.1, 0.9, +1); err == nil {
+		t.Fatal("unprobed node accepted")
+	}
+}
+
+func TestPeak(t *testing.T) {
+	res, a, _, _ := rcPair(t)
+	v, at, err := res.Peak(a, +1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > 0.01 || at <= 0 {
+		t.Fatalf("peak %g at %g", v, at)
+	}
+	vMin, _, err := res.Peak(a, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vMin > 0.01 {
+		t.Fatalf("min %g", vMin)
+	}
+	if _, _, err := res.Peak(99, 1); err == nil {
+		t.Fatal("unprobed node accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	res, _, _, nl := rcPair(t)
+	var b strings.Builder
+	if err := res.WriteCSV(&b, nl.NodeName); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "t,a,b\n") {
+		t.Fatalf("CSV header: %q", out[:20])
+	}
+	lines := strings.Count(out, "\n")
+	if lines != len(res.T)+1 {
+		t.Fatalf("CSV line count %d, want %d", lines, len(res.T)+1)
+	}
+	// Nil namer falls back to ids.
+	var b2 strings.Builder
+	if err := res.WriteCSV(&b2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b2.String(), "t,n") {
+		t.Fatal("fallback namer")
+	}
+}

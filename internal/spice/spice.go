@@ -1,0 +1,392 @@
+// Package spice is the circuit simulator substrate of the study — the
+// stand-in for the commercial SPICE the paper runs its SRAM netlists on.
+//
+// It implements nodal analysis with Norton-transformed voltage sources
+// (see internal/circuit), Newton–Raphson iteration over the alpha-power
+// MOSFET models, gmin stepping for the DC operating point, and fixed-step
+// transient integration with backward-Euler or trapezoidal companion
+// models for capacitors. Waveforms are probed per node and threshold
+// crossings (the paper's time-to-discharge measurement) are extracted with
+// linear interpolation.
+package spice
+
+import (
+	"fmt"
+	"math"
+
+	"mpsram/internal/circuit"
+	"mpsram/internal/sparse"
+)
+
+// Integrator selects the companion model used for capacitors.
+type Integrator int
+
+const (
+	// Trapezoidal is second-order accurate and the default.
+	Trapezoidal Integrator = iota
+	// BackwardEuler is first-order, stiffly stable, used for ablation.
+	BackwardEuler
+)
+
+func (i Integrator) String() string {
+	if i == BackwardEuler {
+		return "backward-euler"
+	}
+	return "trapezoidal"
+}
+
+// Options tunes the engine.
+type Options struct {
+	Method    Integrator
+	Gmin      float64 // conductance from every node to ground (default 1e-12)
+	AbsTol    float64 // Newton absolute voltage tolerance (default 1 µV)
+	RelTol    float64 // Newton relative tolerance (default 1e-6)
+	MaxNewton int     // max Newton iterations per solve (default 60)
+	VLimit    float64 // per-iteration voltage step clamp (default 0.4 V)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Gmin == 0 {
+		o.Gmin = 1e-12
+	}
+	if o.AbsTol == 0 {
+		o.AbsTol = 1e-6
+	}
+	if o.RelTol == 0 {
+		o.RelTol = 1e-6
+	}
+	if o.MaxNewton == 0 {
+		o.MaxNewton = 60
+	}
+	if o.VLimit == 0 {
+		o.VLimit = 0.4
+	}
+	return o
+}
+
+// Engine simulates one netlist.
+type Engine struct {
+	ckt  *circuit.Netlist
+	opts Options
+	n    int // unknowns (nodes minus ground)
+
+	// static holds the time-invariant resistive stamps: resistors,
+	// voltage-source series conductances, gmin.
+	static *sparse.Matrix
+	// capG holds the capacitor companion conductances for the current
+	// step size (rebuilt when dt changes).
+	capDt   float64
+	capBase *sparse.Matrix
+	// capState tracks per-capacitor branch current (trapezoidal).
+	capI []float64
+	// nodeset seeds the DC solve (SPICE .nodeset): during the early gmin
+	// stages each listed node is weakly tied to its hint voltage, which
+	// selects the intended solution basin in bistable circuits (SRAM
+	// cells have a metastable saddle Newton would otherwise find).
+	nodeset map[circuit.NodeID]float64
+}
+
+// SetNodeset installs DC solution hints (see the nodeset field).
+func (e *Engine) SetNodeset(hints map[circuit.NodeID]float64) { e.nodeset = hints }
+
+// New builds an engine after validating the netlist.
+func New(ckt *circuit.Netlist, opts Options) (*Engine, error) {
+	if err := ckt.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{ckt: ckt, opts: opts.withDefaults(), n: ckt.NumNodes() - 1}
+	if e.n <= 0 {
+		return nil, fmt.Errorf("spice: netlist has no non-ground nodes")
+	}
+	e.static = e.buildStatic(e.opts.Gmin)
+	e.capI = make([]float64, len(ckt.Cs))
+	return e, nil
+}
+
+// ix maps a node to its matrix index; ground is −1.
+func ix(id circuit.NodeID) int { return int(id) - 1 }
+
+// stamp adds conductance g between nodes a and b.
+func stampG(m *sparse.Matrix, a, b circuit.NodeID, g float64) {
+	ia, ib := ix(a), ix(b)
+	if ia >= 0 {
+		m.Add(ia, ia, g)
+	}
+	if ib >= 0 {
+		m.Add(ib, ib, g)
+	}
+	if ia >= 0 && ib >= 0 {
+		m.Add(ia, ib, -g)
+		m.Add(ib, ia, -g)
+	}
+}
+
+// rhsI injects current i into node a and out of node b.
+func rhsI(rhs []float64, a, b circuit.NodeID, i float64) {
+	if ia := ix(a); ia >= 0 {
+		rhs[ia] += i
+	}
+	if ib := ix(b); ib >= 0 {
+		rhs[ib] -= i
+	}
+}
+
+func (e *Engine) buildStatic(gmin float64) *sparse.Matrix {
+	m := sparse.NewMatrix(e.n)
+	for i := 0; i < e.n; i++ {
+		m.Add(i, i, gmin)
+	}
+	for _, r := range e.ckt.Rs {
+		stampG(m, r.A, r.B, 1/r.R)
+	}
+	for _, v := range e.ckt.Vs {
+		stampG(m, v.P, v.N, 1/v.RS)
+	}
+	return m
+}
+
+// buildCapBase caches static + capacitor companion conductances for dt.
+func (e *Engine) buildCapBase(dt float64) {
+	if e.capBase != nil && e.capDt == dt {
+		return
+	}
+	m := e.static.Clone()
+	k := 1.0
+	if e.opts.Method == Trapezoidal {
+		k = 2.0
+	}
+	for _, c := range e.ckt.Cs {
+		stampG(m, c.A, c.B, k*c.C/dt)
+	}
+	e.capBase = m
+	e.capDt = dt
+}
+
+// sourceRHS adds the independent-source currents at time t.
+func (e *Engine) sourceRHS(rhs []float64, t float64) {
+	for _, v := range e.ckt.Vs {
+		rhsI(rhs, v.P, v.N, v.Wave.At(t)/v.RS)
+	}
+	for _, i := range e.ckt.Is {
+		rhsI(rhs, i.P, i.N, i.Wave.At(t))
+	}
+}
+
+// vAt reads node voltage from the solution vector.
+func vAt(x []float64, id circuit.NodeID) float64 {
+	if id == circuit.Ground {
+		return 0
+	}
+	return x[ix(id)]
+}
+
+// newtonSolve iterates the MOSFET linearization around x0 on top of the
+// prepared base matrix/rhs until convergence. base must include all linear
+// stamps; rhsBase all linear source terms. Returns the converged solution.
+func (e *Engine) newtonSolve(base *sparse.Matrix, rhsBase []float64, x0 []float64) ([]float64, error) {
+	x := append([]float64(nil), x0...)
+	o := e.opts
+	for iter := 0; iter < o.MaxNewton; iter++ {
+		m := base.Clone()
+		rhs := append([]float64(nil), rhsBase...)
+		for _, mos := range e.ckt.Ms {
+			vgs := vAt(x, mos.G) - vAt(x, mos.S)
+			vds := vAt(x, mos.D) - vAt(x, mos.S)
+			id, gm, gds := mos.Model.Eval(mos.W, vgs, vds)
+			// Linearized drain current: id + gm·Δvgs + gds·Δvds.
+			// Stamp conductances and the Norton residual current.
+			ieq := id - gm*vgs - gds*vds
+			iD, iG, iS := ix(mos.D), ix(mos.G), ix(mos.S)
+			add := func(r, c int, v float64) {
+				if r >= 0 && c >= 0 {
+					m.Add(r, c, v)
+				}
+			}
+			add(iD, iG, gm)
+			add(iD, iD, gds)
+			add(iD, iS, -gm-gds)
+			add(iS, iG, -gm)
+			add(iS, iD, -gds)
+			add(iS, iS, gm+gds)
+			if iD >= 0 {
+				rhs[iD] -= ieq
+			}
+			if iS >= 0 {
+				rhs[iS] += ieq
+			}
+		}
+		xNew, err := m.Solve(rhs)
+		if err != nil {
+			return nil, fmt.Errorf("spice: newton iteration %d: %w", iter, err)
+		}
+		// Damped update with per-node step clamp.
+		conv := true
+		for i := range xNew {
+			d := xNew[i] - x[i]
+			if d > o.VLimit {
+				d = o.VLimit
+				conv = false
+			} else if d < -o.VLimit {
+				d = -o.VLimit
+				conv = false
+			}
+			if math.Abs(d) > o.AbsTol+o.RelTol*math.Abs(x[i]) {
+				conv = false
+			}
+			x[i] += d
+		}
+		if conv {
+			return x, nil
+		}
+	}
+	return nil, fmt.Errorf("spice: newton failed to converge in %d iterations", o.MaxNewton)
+}
+
+// DCOperatingPoint solves the bias point at t = 0 with capacitors open,
+// using gmin stepping for robustness: the ground-shunt conductance starts
+// large and is relaxed geometrically to the target.
+func (e *Engine) DCOperatingPoint() ([]float64, error) {
+	x := make([]float64, e.n)
+	for id, v := range e.nodeset {
+		if i := ix(id); i >= 0 {
+			x[i] = v
+		}
+	}
+	var lastErr error
+	stages := []float64{1e-3, 1e-5, 1e-7, 1e-9, e.opts.Gmin}
+	for si, gmin := range stages {
+		base := e.buildStatic(gmin)
+		rhs := make([]float64, e.n)
+		e.sourceRHS(rhs, 0)
+		if si < len(stages)-1 {
+			// Hold nodeset hints with a 1 mS tie during the damped
+			// stages; the final stage releases them.
+			const gns = 1e-3
+			for id, v := range e.nodeset {
+				if i := ix(id); i >= 0 {
+					base.Add(i, i, gns)
+					rhs[i] += gns * v
+				}
+			}
+		}
+		xNew, err := e.newtonSolve(base, rhs, x)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		x = xNew
+		lastErr = nil
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("spice: DC operating point: %w", lastErr)
+	}
+	return x, nil
+}
+
+// Result holds probed transient waveforms.
+type Result struct {
+	T     []float64
+	Nodes []circuit.NodeID
+	V     [][]float64 // V[probe][step]
+	names []string
+}
+
+// Probe returns the waveform of the i-th probed node.
+func (r *Result) Probe(i int) []float64 { return r.V[i] }
+
+// NodeWave returns the waveform of a probed node id (nil if not probed).
+func (r *Result) NodeWave(id circuit.NodeID) []float64 {
+	for i, n := range r.Nodes {
+		if n == id {
+			return r.V[i]
+		}
+	}
+	return nil
+}
+
+// FirstCrossing returns the first time the scalar series f(step) crosses
+// the threshold in the rising (dir>0) or falling (dir<0) direction, with
+// linear interpolation between steps. Returns an error if no crossing.
+func (r *Result) FirstCrossing(f func(step int) float64, threshold float64, dir int) (float64, error) {
+	prev := f(0)
+	for k := 1; k < len(r.T); k++ {
+		cur := f(k)
+		crossed := (dir >= 0 && prev < threshold && cur >= threshold) ||
+			(dir < 0 && prev > threshold && cur <= threshold)
+		if crossed {
+			frac := (threshold - prev) / (cur - prev)
+			return r.T[k-1] + frac*(r.T[k]-r.T[k-1]), nil
+		}
+		prev = cur
+	}
+	return 0, fmt.Errorf("spice: no threshold crossing of %g found in %d steps", threshold, len(r.T))
+}
+
+// StopFunc lets callers terminate a transient early; it receives the step
+// index and a voltage accessor.
+type StopFunc func(t float64, v func(circuit.NodeID) float64) bool
+
+// Transient integrates from 0 to tEnd with fixed step dt, starting from
+// the DC operating point, probing the given nodes each step. If stop is
+// non-nil the run ends once it returns true (after recording that step).
+func (e *Engine) Transient(tEnd, dt float64, probes []circuit.NodeID, stop StopFunc) (*Result, error) {
+	if dt <= 0 || tEnd <= 0 || tEnd < dt {
+		return nil, fmt.Errorf("spice: bad transient window tEnd=%g dt=%g", tEnd, dt)
+	}
+	x, err := e.DCOperatingPoint()
+	if err != nil {
+		return nil, err
+	}
+	e.buildCapBase(dt)
+	// Reset trapezoidal capacitor currents from the DC point (zero).
+	for i := range e.capI {
+		e.capI[i] = 0
+	}
+	steps := int(math.Ceil(tEnd/dt)) + 1
+	res := &Result{Nodes: probes}
+	res.T = make([]float64, 0, steps)
+	res.V = make([][]float64, len(probes))
+	record := func(t float64, x []float64) {
+		res.T = append(res.T, t)
+		for i, p := range probes {
+			res.V[i] = append(res.V[i], vAt(x, p))
+		}
+	}
+	record(0, x)
+	trap := e.opts.Method == Trapezoidal
+	k := 1.0
+	if trap {
+		k = 2.0
+	}
+	for t := dt; t <= tEnd+dt/2; t += dt {
+		rhs := make([]float64, e.n)
+		e.sourceRHS(rhs, t)
+		// Capacitor companion currents from the previous state.
+		for ci, c := range e.ckt.Cs {
+			vPrev := vAt(x, c.A) - vAt(x, c.B)
+			ieq := k * c.C / dt * vPrev
+			if trap {
+				ieq += e.capI[ci]
+			}
+			rhsI(rhs, c.A, c.B, ieq)
+		}
+		xNew, err := e.newtonSolve(e.capBase, rhs, x)
+		if err != nil {
+			return nil, fmt.Errorf("spice: transient at t=%g: %w", t, err)
+		}
+		// Update capacitor branch currents (trapezoidal state).
+		if trap {
+			for ci, c := range e.ckt.Cs {
+				vPrev := vAt(x, c.A) - vAt(x, c.B)
+				vNow := vAt(xNew, c.A) - vAt(xNew, c.B)
+				e.capI[ci] = k*c.C/dt*(vNow-vPrev) - e.capI[ci]
+			}
+		}
+		x = xNew
+		record(t, x)
+		if stop != nil && stop(t, func(id circuit.NodeID) float64 { return vAt(x, id) }) {
+			break
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,349 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"mpsram/internal/circuit"
+	"mpsram/internal/device"
+	"mpsram/internal/tech"
+)
+
+func TestIntegratorString(t *testing.T) {
+	if Trapezoidal.String() != "trapezoidal" || BackwardEuler.String() != "backward-euler" {
+		t.Fatal("integrator names")
+	}
+}
+
+func TestDCVoltageDivider(t *testing.T) {
+	n := circuit.New()
+	a := n.Node("a")
+	mid := n.Node("mid")
+	n.AddV("src", a, circuit.Ground, circuit.DC(1.0))
+	n.AddR("r1", a, mid, 1e3)
+	n.AddR("r2", mid, circuit.Ground, 1e3)
+	e, err := New(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := e.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vAt(x, a)-1.0) > 1e-4 {
+		t.Fatalf("V(a) = %g, want ≈1.0", vAt(x, a))
+	}
+	if math.Abs(vAt(x, mid)-0.5) > 1e-4 {
+		t.Fatalf("V(mid) = %g, want ≈0.5", vAt(x, mid))
+	}
+}
+
+func TestDCCurrentSource(t *testing.T) {
+	n := circuit.New()
+	a := n.Node("a")
+	n.AddI("i", a, circuit.Ground, circuit.DC(1e-3))
+	n.AddR("r", a, circuit.Ground, 2e3)
+	e, _ := New(n, Options{})
+	x, err := e.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vAt(x, a)-2.0) > 1e-6 {
+		t.Fatalf("V = %g, want 2.0", vAt(x, a))
+	}
+}
+
+// rcDischarge builds the canonical RC discharge fixture: C charged to 1 V
+// through a switch-like source step, discharging through R to ground.
+func rcDischarge(r, c float64) (*circuit.Netlist, circuit.NodeID) {
+	n := circuit.New()
+	top := n.Node("top")
+	// Source holds 1 V until t=0 then drops to 0 quickly. The node then
+	// discharges through the source series resistance — instead, use a
+	// pure RC: drive through a big resistor... Simplest exact fixture:
+	// V source 1V -> R -> node with C to ground, source steps to 0 at t=0.
+	drv := n.Node("drv")
+	n.AddV("src", drv, circuit.Ground, circuit.Pulse{V0: 1, V1: 0, Delay: 0, Rise: 1e-15, Width: 1, Fall: 1e-15})
+	n.AddR("r", drv, top, r)
+	n.AddC("c", top, circuit.Ground, c)
+	return n, top
+}
+
+func TestTransientRCDischargeTrapVsAnalytic(t *testing.T) {
+	r, c := 1e3, 1e-12 // tau = 1 ns
+	tau := r * c
+	for _, method := range []Integrator{Trapezoidal, BackwardEuler} {
+		n, top := rcDischarge(r, c)
+		e, err := New(n, Options{Method: method})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Transient(5*tau, tau/200, []circuit.NodeID{top}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare to the analytic exponential at several times.
+		tol := 0.002 // trapezoidal
+		if method == BackwardEuler {
+			tol = 0.02 // first order
+		}
+		for _, mult := range []float64{0.5, 1, 2, 3} {
+			tw := mult * tau
+			k := int(tw / (tau / 200))
+			want := math.Exp(-res.T[k] / tau)
+			got := res.V[0][k]
+			if math.Abs(got-want) > tol {
+				t.Fatalf("%v at t=%.1f·tau: V=%.5f want %.5f", method, mult, got, want)
+			}
+		}
+	}
+}
+
+func TestTransientDischargeTimeMatchesLnLaw(t *testing.T) {
+	// Time to discharge to 90 % of initial value: t = ln(1/0.9)·tau ≈
+	// 0.10536·tau — the paper's eq. (3) constant.
+	r, c := 2e3, 0.5e-12
+	tau := r * c
+	n, top := rcDischarge(r, c)
+	e, _ := New(n, Options{})
+	res, err := e.Transient(tau, tau/2000, []circuit.NodeID{top}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave := res.NodeWave(top)
+	td, err := res.FirstCrossing(func(k int) float64 { return wave[k] }, 0.9, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(1/0.9) * tau
+	if math.Abs(td-want)/want > 0.01 {
+		t.Fatalf("td = %g, want %g", td, want)
+	}
+}
+
+func TestTransientChargeConservationLadder(t *testing.T) {
+	// A 10-stage RC ladder driven by a step: final state must equal the
+	// drive at every node (DC continuity), and voltages stay in [0, 1].
+	n := circuit.New()
+	drv := n.Node("drv")
+	n.AddV("src", drv, circuit.Ground, circuit.Pulse{V0: 0, V1: 1, Rise: 1e-12, Width: 1})
+	prev := drv
+	var nodes []circuit.NodeID
+	for i := 0; i < 10; i++ {
+		nd := n.Node(nodeName(i))
+		n.AddR("r", prev, nd, 100)
+		n.AddC("c", nd, circuit.Ground, 1e-15)
+		nodes = append(nodes, nd)
+		prev = nd
+	}
+	e, _ := New(n, Options{})
+	res, err := e.Transient(50e-12, 0.05e-12, nodes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(res.T) - 1
+	for i := range nodes {
+		v := res.V[i][last]
+		if math.Abs(v-1) > 1e-3 {
+			t.Fatalf("node %d final V = %g, want 1", i, v)
+		}
+		for k := range res.T {
+			if res.V[i][k] < -1e-6 || res.V[i][k] > 1+1e-2 {
+				t.Fatalf("node %d overshoot V=%g at step %d", i, res.V[i][k], k)
+			}
+		}
+	}
+}
+
+func nodeName(i int) string { return "n" + string(rune('a'+i)) }
+
+func TestNMOSInverterDC(t *testing.T) {
+	// Resistive-load inverter: with the gate high, the output must pull
+	// near ground; with the gate low, near VDD.
+	f := tech.N10().FEOL
+	nm := device.NewNMOS(f)
+	build := func(vg float64) (*Engine, circuit.NodeID) {
+		n := circuit.New()
+		vdd := n.Node("vdd")
+		g := n.Node("g")
+		out := n.Node("out")
+		n.AddV("vdd", vdd, circuit.Ground, circuit.DC(0.7))
+		n.AddV("vg", g, circuit.Ground, circuit.DC(vg))
+		n.AddR("rl", vdd, out, 200e3)
+		n.AddM("mn", out, g, circuit.Ground, nm, 30e-9)
+		e, err := New(n, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, out
+	}
+	e, out := build(0.7)
+	x, err := e.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := vAt(x, out); v > 0.1 {
+		t.Fatalf("on-inverter output %g, want < 0.1", v)
+	}
+	e, out = build(0.0)
+	x, err = e.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := vAt(x, out); v < 0.65 {
+		t.Fatalf("off-inverter output %g, want ≈ 0.7", v)
+	}
+}
+
+func TestMOSFETDischargeMatchesModelCurrent(t *testing.T) {
+	// A saturated NMOS discharging a capacitor produces dV/dt = −Id/C.
+	f := tech.N10().FEOL
+	nm := device.NewNMOS(f)
+	n := circuit.New()
+	top := n.Node("top")
+	g := n.Node("g")
+	n.AddV("vg", g, circuit.Ground, circuit.DC(0.7))
+	cap := 10e-15
+	n.AddC("c", top, circuit.Ground, cap)
+	// Precharge via a source that detaches: emulate with a pulse source
+	// through a resistor that goes high-impedance... simplest: initial
+	// condition via DC op with a precharge source, then the source steps
+	// to 0 — instead drive the gate: gate low before t=0 (device off,
+	// node held by source), gate high after.
+	pre := n.Node("pre")
+	n.AddV("vpre", pre, circuit.Ground, circuit.DC(0.7))
+	n.AddR("rpre", pre, top, 50) // keeps node at 0.7 while device off
+	// Gate pulse: off until 1 ps, then on.
+	n.Vs[0].Wave = circuit.Pulse{V0: 0, V1: 0.7, Delay: 1e-12, Rise: 0.2e-12, Width: 1}
+	// Remove the holding path once discharge starts by making it weak:
+	// use a large resistor so its current is negligible vs the device.
+	n.Rs[0].R = 10e6
+	// With rpre huge, DC op leaves top at 0.7 only through 10 MΩ — still
+	// exact at DC (no other path). Device off at t=0 keeps it there.
+	n.AddM("mn", top, g, circuit.Ground, nm, 30e-9)
+	e, err := New(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Transient(40e-12, 0.01e-12, []circuit.NodeID{top}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave := res.NodeWave(top)
+	// Measure slope between 0.65 V and 0.60 V (device saturated there).
+	t65, err := res.FirstCrossing(func(k int) float64 { return wave[k] }, 0.65, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t60, err := res.FirstCrossing(func(k int) float64 { return wave[k] }, 0.60, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slope := 0.05 / (t60 - t65)
+	// Expected slope from the model at mid-swing.
+	id, _, _ := nm.Eval(30e-9, 0.7, 0.625)
+	want := id / cap
+	if math.Abs(slope-want)/want > 0.10 {
+		t.Fatalf("discharge slope %.3g V/s vs model %.3g V/s", slope, want)
+	}
+}
+
+func TestTransientErrors(t *testing.T) {
+	n := circuit.New()
+	a := n.Node("a")
+	n.AddR("r", a, circuit.Ground, 1e3)
+	n.AddV("v", a, circuit.Ground, circuit.DC(1))
+	e, _ := New(n, Options{})
+	if _, err := e.Transient(-1, 1e-12, nil, nil); err == nil {
+		t.Fatal("negative tEnd must error")
+	}
+	if _, err := e.Transient(1e-9, 0, nil, nil); err == nil {
+		t.Fatal("zero dt must error")
+	}
+	// Empty netlist rejected at New.
+	if _, err := New(circuit.New(), Options{}); err == nil {
+		t.Fatal("no-node netlist must error")
+	}
+	// Invalid netlist rejected.
+	bad := circuit.New()
+	bad.AddR("r", bad.Node("x"), circuit.Ground, -5)
+	if _, err := New(bad, Options{}); err == nil {
+		t.Fatal("invalid netlist must error")
+	}
+}
+
+func TestStopFuncEndsEarly(t *testing.T) {
+	r, c := 1e3, 1e-12
+	n, top := rcDischarge(r, c)
+	e, _ := New(n, Options{})
+	stopped := 0
+	res, err := e.Transient(10e-9, 1e-12, []circuit.NodeID{top},
+		func(tm float64, v func(circuit.NodeID) float64) bool {
+			if v(top) < 0.5 {
+				stopped++
+				return true
+			}
+			return false
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stopped != 1 {
+		t.Fatal("stop func did not fire exactly once")
+	}
+	if res.T[len(res.T)-1] > 2e-9 {
+		t.Fatalf("run did not stop early: ended at %g", res.T[len(res.T)-1])
+	}
+}
+
+func TestFirstCrossingRising(t *testing.T) {
+	res := &Result{T: []float64{0, 1, 2, 3}}
+	vals := []float64{0, 0.2, 0.8, 1.0}
+	tc, err := res.FirstCrossing(func(k int) float64 { return vals[k] }, 0.5, +1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tc-1.5) > 1e-12 {
+		t.Fatalf("crossing at %g, want 1.5", tc)
+	}
+	if _, err := res.FirstCrossing(func(k int) float64 { return vals[k] }, 2.0, +1); err == nil {
+		t.Fatal("missing crossing must error")
+	}
+}
+
+func TestNodeWaveMissing(t *testing.T) {
+	res := &Result{Nodes: []circuit.NodeID{5}, V: [][]float64{{1}}}
+	if res.NodeWave(5) == nil || res.NodeWave(6) != nil {
+		t.Fatal("NodeWave lookup broken")
+	}
+	if res.Probe(0)[0] != 1 {
+		t.Fatal("Probe broken")
+	}
+}
+
+func TestWaveforms(t *testing.T) {
+	p := circuit.Pulse{V0: 0, V1: 1, Delay: 1, Rise: 1, Width: 2, Fall: 1}
+	cases := []struct{ t, want float64 }{
+		{0, 0}, {1, 0}, {1.5, 0.5}, {2, 1}, {3.9, 1}, {4.5, 0.5}, {6, 0},
+	}
+	for _, c := range cases {
+		if got := p.At(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("pulse At(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	pw := circuit.PWL{T: []float64{0, 1, 2}, V: []float64{0, 1, 0}}
+	if pw.At(-1) != 0 || pw.At(0.5) != 0.5 || pw.At(1.5) != 0.5 || pw.At(3) != 0 {
+		t.Fatal("PWL interpolation broken")
+	}
+	if (circuit.PWL{}).At(5) != 0 {
+		t.Fatal("empty PWL must return 0")
+	}
+	if circuit.DC(3).At(99) != 3 {
+		t.Fatal("DC waveform broken")
+	}
+	// Periodic pulse.
+	pp := circuit.Pulse{V0: 0, V1: 1, Rise: 0.1, Width: 0.2, Fall: 0.1, Period: 1}
+	if math.Abs(pp.At(1.2)-pp.At(0.2)) > 1e-12 {
+		t.Fatal("periodic pulse broken")
+	}
+}

@@ -1,0 +1,84 @@
+package sram
+
+import (
+	"testing"
+
+	"mpsram/internal/extract"
+	"mpsram/internal/litho"
+	"mpsram/internal/tech"
+)
+
+func TestWriteFlipsCell(t *testing.T) {
+	p, cp := nominal(t)
+	col, err := BuildWriteColumn(p, 32, cp, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, err := col.MeasureWriteTime(cp, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.TFlip <= 0 || wr.TFlip > 1e-9 {
+		t.Fatalf("flip time %g out of band", wr.TFlip)
+	}
+	// The cell must start at q=1 and end at q=0.
+	q := wr.Result.NodeWave(col.Q)
+	qb := wr.Result.NodeWave(col.QB)
+	if q[0] < 0.6 || qb[0] > 0.1 {
+		t.Fatalf("initial state q=%g qb=%g", q[0], qb[0])
+	}
+	last := len(q) - 1
+	if q[last] > 0.15 || qb[last] < 0.55 {
+		t.Fatalf("final state q=%g qb=%g (write failed)", q[last], qb[last])
+	}
+}
+
+func TestWriteTimeGrowsWithArray(t *testing.T) {
+	p, cp := nominal(t)
+	var prev float64
+	for _, n := range []int{16, 128} {
+		col, err := BuildWriteColumn(p, n, cp, BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wr, err := col.MeasureWriteTime(cp, SimOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wr.TFlip <= prev {
+			t.Fatalf("write time not growing: %g after %g", wr.TFlip, prev)
+		}
+		prev = wr.TFlip
+	}
+}
+
+func TestWriteSlowerUnderLE3WorstCase(t *testing.T) {
+	// The extension's point: MP variability shifts writes too. The LE3
+	// worst corner (higher Cbl) must slow the bit-line discharge.
+	p, cp := nominal(t)
+	wc, err := extract.WorstCase(p, litho.LE3, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colNom, _ := BuildWriteColumn(p, 64, cp, BuildOptions{})
+	nom, err := colNom.MeasureWriteTime(cp, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpWC := cp.Scale(wc.Ratios)
+	colWC, _ := BuildWriteColumn(p, 64, cpWC, BuildOptions{})
+	worst, err := colWC.MeasureWriteTime(cpWC, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst.TFlip <= nom.TFlip {
+		t.Fatalf("worst-case write %g not slower than nominal %g", worst.TFlip, nom.TFlip)
+	}
+}
+
+func TestWriteColumnBuildErrors(t *testing.T) {
+	p := tech.N10()
+	if _, err := BuildWriteColumn(p, 0, CellParasitics{Rbl: 1, Cbl: 1, Rvss: 1}, BuildOptions{}); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}

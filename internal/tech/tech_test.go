@@ -1,0 +1,122 @@
+package tech
+
+import (
+	"math"
+	"testing"
+
+	"mpsram/internal/units"
+)
+
+func TestN10Validates(t *testing.T) {
+	p := N10()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("N10 preset invalid: %v", err)
+	}
+}
+
+func TestN10Calibration(t *testing.T) {
+	p := N10()
+	// The calibration anchor from DESIGN.md §4: +3 nm CD on the 26 nm
+	// bit line must give ΔR = 26/29−1 ≈ −10.34 % (paper: −10.36 %).
+	w := p.M1.Width
+	dr := w/(w+3*units.Nano) - 1
+	if math.Abs(dr - -0.1034) > 0.001 {
+		t.Fatalf("CD calibration broken: ΔR = %.4f, want ≈ −0.1034", dr)
+	}
+	// SADP worst corner: core −3σ, spacer −3σ ⇒ gap width 32 nm.
+	s := p.SADP
+	s.MandrelWidth -= p.Var.CD3Sigma
+	s.SpacerThk -= p.Var.Spacer3Sigma
+	if got := s.GapWidth(); math.Abs(got-32*units.Nano) > 1e-12 {
+		t.Fatalf("SADP worst gap width = %v, want 32 nm", got)
+	}
+}
+
+func TestSADPGapWidthConservation(t *testing.T) {
+	p := N10()
+	s := p.SADP
+	// One period always holds one core line, one gap line and two
+	// spacers regardless of variation.
+	for _, dm := range []float64{-3e-9, 0, 3e-9} {
+		for _, dt := range []float64{-1.5e-9, 0, 1.5e-9} {
+			v := s
+			v.MandrelWidth += dm
+			v.SpacerThk += dt
+			sum := v.MandrelWidth + v.GapWidth() + 2*v.SpacerThk
+			if math.Abs(sum-v.Period) > 1e-15 {
+				t.Fatalf("period conservation violated: %v != %v", sum, v.Period)
+			}
+		}
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Process)
+	}{
+		{"zero width", func(p *Process) { p.M1.Width = 0 }},
+		{"pitch mismatch", func(p *Process) { p.M1.Pitch = 50e-9 }},
+		{"bad rho", func(p *Process) { p.M1.Rho = -1 }},
+		{"bad eps", func(p *Process) { p.Diel.EpsR = 0.5 }},
+		{"bad plane", func(p *Process) { p.Diel.HBelow = 0 }},
+		{"sadp gap", func(p *Process) { p.SADP.MandrelWidth = 80e-9 }},
+		{"sadp period", func(p *Process) { p.SADP.Period = 90e-9; p.SADP.MandrelWidth = 20e-9 }},
+		{"cell pitch", func(p *Process) { p.Cell.XPitch = 0 }},
+		{"sense over vdd", func(p *Process) { p.FEOL.SenseDeltaV = 1.0 }},
+		{"vt over vdd", func(p *Process) { p.FEOL.VtN = 0.9 }},
+		{"bad k", func(p *Process) { p.FEOL.KN = 0 }},
+		{"bad precharge", func(p *Process) { p.FEOL.WPre0 = 0 }},
+		{"negative variation", func(p *Process) { p.Var.CD3Sigma = -1e-9 }},
+	}
+	for _, m := range mutations {
+		p := N10()
+		m.mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid process", m.name)
+		}
+	}
+}
+
+func TestPrechargeScaling(t *testing.T) {
+	f := N10().FEOL
+	// Drive width scales linearly with n from the reference size.
+	if got := f.WPre(16); math.Abs(got-f.WPre0) > 1e-18 {
+		t.Fatalf("WPre(refN) = %v, want WPre0 = %v", got, f.WPre0)
+	}
+	if got := f.WPre(64); math.Abs(got-4*f.WPre0) > 1e-18 {
+		t.Fatalf("WPre(64) = %v, want 4×WPre0", got)
+	}
+	// CPre is affine in n: fixed overhead plus scaled junction.
+	c16 := f.CPre(16)
+	c64 := f.CPre(64)
+	c256 := f.CPre(256)
+	if !(c16 < c64 && c64 < c256) {
+		t.Fatal("CPre must grow with n")
+	}
+	// Affine check: slope between consecutive spans must match.
+	s1 := (c64 - c16) / 48
+	s2 := (c256 - c64) / 192
+	if math.Abs(s1-s2) > 1e-25 {
+		t.Fatalf("CPre not affine in n: slopes %g vs %g", s1, s2)
+	}
+}
+
+func TestWithOL(t *testing.T) {
+	p := N10()
+	q := p.WithOL(3e-9)
+	if q.Var.OL3Sigma != 3e-9 {
+		t.Fatalf("WithOL did not set overlay: %v", q.Var.OL3Sigma)
+	}
+	if p.Var.OL3Sigma != 8e-9 {
+		t.Fatal("WithOL mutated the receiver")
+	}
+}
+
+func TestDielectricEps(t *testing.T) {
+	d := Dielectric{EpsR: 2.7}
+	want := 2.7 * units.Eps0
+	if math.Abs(d.Eps()-want) > 1e-22 {
+		t.Fatalf("Eps = %g, want %g", d.Eps(), want)
+	}
+}
