@@ -1,0 +1,38 @@
+# One entry point for humans and CI (.github/workflows/ci.yml calls these
+# same targets).
+
+GO ?= go
+
+.PHONY: all build test test-race bench bench-smoke lint fmt clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+# Fast feedback: skips the long SPICE sweeps (testing.Short gates).
+test:
+	$(GO) test -short ./...
+
+# The CI gate: full suite under the race detector.
+test-race:
+	$(GO) test -race ./...
+
+# Full benchmark harness — regenerates every paper table and figure.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# CI smoke: every benchmark once, just to prove the harness still runs.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+lint:
+	$(GO) vet ./...
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+
+fmt:
+	gofmt -w .
+
+clean:
+	$(GO) clean ./...

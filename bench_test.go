@@ -1,6 +1,7 @@
 package mpsram
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -299,6 +300,66 @@ func BenchmarkAblationMCConvergence(b *testing.B) {
 				}
 				if i == 0 {
 					b.ReportMetric(res.Summary.Std, "sigma_pp")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable4SurfaceSharedVsPerCell is the engine-redesign headline:
+// the extended Table IV needs tdp σ at every DOE size. "percell" resamples
+// one stream per (option, size) cell — the seed engine's access pattern —
+// while "shared" evaluates all four sizes from each draw of a single
+// stream, cutting the litho+extract work 4× and the allocations with it.
+func BenchmarkTable4SurfaceSharedVsPerCell(b *testing.B) {
+	e := env(b)
+	m, err := e.Model()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	cfg := mc.Config{Samples: 1000, Seed: 2015}
+	b.Run("percell", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, n := range exp.PaperSizes {
+				if _, err := mc.TdpAcrossSizes(ctx, e.Proc, litho.LE3, m, e.Cap, []int{n}, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("shared", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := mc.TdpAcrossSizes(ctx, e.Proc, litho.LE3, m, e.Cap, exp.PaperSizes, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMCEngineOverhead isolates the sampling scaffold from the
+// physics: a trivial observable through the full engine, streaming versus
+// value-collecting. Allocations stay O(workers + blocks), not O(samples).
+func BenchmarkMCEngineOverhead(b *testing.B) {
+	ctx := context.Background()
+	f := func(rng *rand.Rand, out []float64) bool {
+		out[0] = rng.NormFloat64()
+		return true
+	}
+	for _, cfg := range []struct {
+		name string
+		c    mc.Config
+	}{
+		{"streaming", mc.Config{Samples: 10000, Seed: 1}},
+		{"collect", mc.Config{Samples: 10000, Seed: 1, Collect: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mc.RunVector(ctx, cfg.c, 1, f); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sync"
 
 	"mpsram/internal/analytic"
 	"mpsram/internal/core"
@@ -38,6 +41,7 @@ experiments:
   table3   formula vs simulation tdp
   fig5     Monte-Carlo tdp distribution (8nm OL, n=64)
   table4   tdp sigma per option and overlay budget
+  table4x  extended Table IV: tdp sigma across all DOE sizes (shared stream)
   all      every experiment in paper order
   snm      static noise margins (hold/read butterfly)
   ext      extension studies: LE2 option, thickness source, write penalty
@@ -56,6 +60,7 @@ func main() {
 	ol := flag.Float64("ol", 8, "LE3 overlay 3-sigma budget in nm")
 	n := flag.Int("n", 64, "array word-line count for deck/fig5")
 	lumped := flag.Bool("lumped", false, "use the lumped bit-line ablation")
+	progress := flag.Bool("progress", false, "report Monte-Carlo progress on stderr")
 	thkNM := flag.Float64("thk", 0, "enable the thickness extension: 3-sigma in nm (ext)")
 	formatFlag := flag.String("format", "text", "output format: text, csv or md")
 	flag.Usage = usage
@@ -77,11 +82,28 @@ func main() {
 		check(tbl.Write(os.Stdout, format))
 	}
 
-	study, err := core.NewStudy(
-		core.WithOverlay(*ol*1e-9),
+	// Ctrl-C cancels a running Monte-Carlo between trial blocks instead of
+	// killing the process mid-write. Once the first signal has canceled
+	// the context, unregister so a second Ctrl-C gets default handling —
+	// experiments that don't consume the context (the SPICE sweeps) stay
+	// interruptible.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	opts := []core.Option{
+		core.WithOverlay(*ol * 1e-9),
 		core.WithMC(mc.Config{Samples: *samples, Seed: *seed}),
 		core.WithBuild(sram.BuildOptions{Lumped: *lumped}),
-	)
+		core.WithContext(ctx),
+	}
+	if *progress {
+		opts = append(opts, core.WithProgress(progressPrinter()))
+	}
+	study, err := core.NewStudy(opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -119,6 +141,10 @@ func main() {
 		rows, err := study.SigmaTable()
 		check(err)
 		emit(exp.FormatTable4(rows), exp.Table4Report(rows))
+	case "table4x":
+		rows, err := study.SigmaSurface()
+		check(err)
+		emit(exp.FormatTable4Surface(rows), exp.Table4SurfaceReport(rows))
 	case "snm":
 		res, err := sram.StaticNoiseMargins(study.Env.Proc)
 		check(err)
@@ -160,6 +186,33 @@ func main() {
 	default:
 		usage()
 		os.Exit(2)
+	}
+}
+
+// progressPrinter returns a concurrency-safe Monte-Carlo progress callback
+// that rewrites one stderr line per whole-percent step.
+func progressPrinter() func(done, total int) {
+	var mu sync.Mutex
+	lastDone, lastPct := 0, -1
+	return func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		// The engine serializes calls with strictly increasing done, so
+		// any non-increase means a new sample stream started (e.g. the
+		// next Table IV row).
+		if done <= lastDone {
+			lastPct = -1
+		}
+		lastDone = done
+		pct := done * 100 / total
+		if pct <= lastPct {
+			return
+		}
+		lastPct = pct
+		fmt.Fprintf(os.Stderr, "\rmc: %d/%d trials (%d%%)", done, total, pct)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
 	}
 }
 

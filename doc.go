@@ -7,9 +7,10 @@
 // (tech), patterning engines (litho), parasitic extraction (extract) with
 // a finite-difference field-solver reference (field), a nodal SPICE engine
 // (circuit, device, sparse, spice), the SRAM column builder (sram), the
-// paper's analytical read-time model (analytic), Monte-Carlo machinery
-// (mc, stats), layout generation (layout), the per-table/figure experiment
-// drivers (exp) and the public facade (core).
+// paper's analytical read-time model (analytic), the streaming
+// multi-observable Monte-Carlo engine and its statistics (mc, stats),
+// layout generation (layout), the per-table/figure experiment drivers
+// (exp) and the public facade (core).
 //
 // The benchmark harness in bench_test.go regenerates every table and
 // figure of the paper's evaluation section; run

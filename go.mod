@@ -1,0 +1,3 @@
+module mpsram
+
+go 1.22

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -40,14 +41,33 @@ func WithProcess(p tech.Process) Option { return func(e *exp.Env) { e.Proc = p }
 // WithCapModel selects the capacitance model (default Sakurai–Tamaru).
 func WithCapModel(cm extract.CapModel) Option { return func(e *exp.Env) { e.Cap = cm } }
 
-// WithMC overrides the Monte-Carlo configuration.
-func WithMC(cfg mc.Config) Option { return func(e *exp.Env) { e.MC = cfg } }
+// WithMC overrides the Monte-Carlo configuration. A progress callback
+// already installed with WithProgress survives unless cfg brings its own,
+// so the two options compose in either order.
+func WithMC(cfg mc.Config) Option {
+	return func(e *exp.Env) {
+		if cfg.Progress == nil {
+			cfg.Progress = e.MC.Progress
+		}
+		e.MC = cfg
+	}
+}
 
 // WithOverlay sets the LE3 overlay 3σ budget in metres.
 func WithOverlay(ol float64) Option { return func(e *exp.Env) { e.Proc = e.Proc.WithOL(ol) } }
 
 // WithBuild overrides the SRAM column construction options.
 func WithBuild(b sram.BuildOptions) Option { return func(e *exp.Env) { e.Build = b } }
+
+// WithContext attaches a cancellation context to the Monte-Carlo
+// experiments: canceling it aborts a running study between trial blocks.
+func WithContext(ctx context.Context) Option { return func(e *exp.Env) { e.Ctx = ctx } }
+
+// WithProgress installs a Monte-Carlo progress callback, invoked (possibly
+// concurrently) as trial blocks complete with (done, total).
+func WithProgress(fn func(done, total int)) Option {
+	return func(e *exp.Env) { e.MC.Progress = fn }
+}
 
 // NewStudy builds a study on the N10 preset with the paper's defaults.
 func NewStudy(opts ...Option) (*Study, error) {
@@ -93,6 +113,10 @@ func (s *Study) Distribution() ([]exp.Fig5Result, error) {
 // SigmaTable runs Table IV.
 func (s *Study) SigmaTable() ([]mc.SigmaSweepRow, error) { return exp.Table4(s.Env) }
 
+// SigmaSurface runs the extended Table IV: tdp σ per option and overlay
+// budget at every DOE array size, one shared sample stream per option.
+func (s *Study) SigmaSurface() ([]mc.SigmaSurfaceRow, error) { return exp.Table4Surface(s.Env) }
+
 // ReadTime simulates one read and returns td for option o under variation
 // sample smp at array size n.
 func (s *Study) ReadTime(o litho.Option, smp litho.Sample, n int) (float64, error) {
@@ -111,7 +135,11 @@ func (s *Study) TdpDistribution(o litho.Option, n int) (stats.Summary, error) {
 	if err != nil {
 		return stats.Summary{}, err
 	}
-	res, err := mc.TdpDistribution(s.Env.Proc, o, m, s.Env.Cap, n, s.Env.MC)
+	ctx := s.Env.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := mc.TdpDistributionCtx(ctx, s.Env.Proc, o, m, s.Env.Cap, n, s.Env.MC)
 	if err != nil {
 		return stats.Summary{}, err
 	}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"strings"
+	"sync"
 	"testing"
 
 	"mpsram/internal/extract"
@@ -92,6 +94,82 @@ func TestStudyTdpDistribution(t *testing.T) {
 	}
 	if sum.N != 800 || sum.Std <= 0 {
 		t.Fatalf("summary %+v", sum)
+	}
+}
+
+func TestWithMCPreservesProgress(t *testing.T) {
+	fired := false
+	// WithProgress before WithMC: the budget override must not silently
+	// drop the callback.
+	s, err := NewStudy(
+		WithProgress(func(done, total int) { fired = true }),
+		WithMC(mc.Config{Samples: 300, Seed: 1}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Env.MC.Samples != 300 || s.Env.MC.Progress == nil {
+		t.Fatalf("config not composed: %+v", s.Env.MC)
+	}
+	if _, err := s.TdpDistribution(litho.EUV, 16); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("progress callback dropped by WithMC")
+	}
+}
+
+func TestStudySigmaSurface(t *testing.T) {
+	s, err := NewStudy(WithMC(mc.Config{Samples: 600, Seed: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := s.SigmaSurface()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Cells) != 4 {
+			t.Fatalf("%v: cells %d", r.Option, len(r.Cells))
+		}
+	}
+}
+
+func TestStudyContextAndProgress(t *testing.T) {
+	var mu sync.Mutex
+	var last int
+	s, err := NewStudy(
+		WithMC(mc.Config{Samples: 500, Seed: 4}),
+		WithContext(context.Background()),
+		WithProgress(func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if done > last {
+				last = done
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.TdpDistribution(litho.EUV, 64); err != nil {
+		t.Fatal(err)
+	}
+	if last != 500 {
+		t.Fatalf("progress stopped at %d", last)
+	}
+	// A canceled context aborts the facade's Monte-Carlo entry points.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s2, err := NewStudy(WithMC(mc.Config{Samples: 500, Seed: 4}), WithContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.SigmaTable(); err == nil {
+		t.Fatal("canceled study must not run Table IV")
 	}
 }
 

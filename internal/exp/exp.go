@@ -14,8 +14,10 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"unicode/utf8"
 
 	"mpsram/internal/analytic"
 	"mpsram/internal/extract"
@@ -46,6 +48,17 @@ type Env struct {
 	// Build/sim options for the SPICE experiments.
 	Build sram.BuildOptions
 	Sim   sram.SimOptions
+	// Ctx, when non-nil, cancels the Monte-Carlo experiments mid-run
+	// (e.g. on SIGINT from the CLI). Nil means context.Background().
+	Ctx context.Context
+}
+
+// ctx returns the experiment context, defaulting to Background.
+func (e Env) ctx() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultEnv returns the paper's configuration on the N10 preset.
@@ -355,7 +368,7 @@ func Fig5(e Env, ol float64, n int) ([]Fig5Result, error) {
 		if o == litho.LE3 {
 			p = p.WithOL(ol)
 		}
-		res, err := mc.TdpDistribution(p, o, m, e.Cap, n, e.MC)
+		res, err := mc.TdpDistributionCtx(e.ctx(), p, o, m, e.Cap, n, e.MC)
 		if err != nil {
 			return nil, fmt.Errorf("fig5 %v: %w", o, err)
 		}
@@ -387,7 +400,49 @@ func Table4(e Env) ([]mc.SigmaSweepRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	return mc.SigmaSweep(e.Proc, m, e.Cap, 64, PaperOLBudgets, e.MC)
+	return mc.SigmaSweepCtx(e.ctx(), e.Proc, m, e.Cap, 64, PaperOLBudgets, e.MC)
+}
+
+// Table4Surface extends Table IV across the whole array DOE: the tdp σ
+// per option and overlay budget at every size in PaperSizes. Each
+// option/overlay configuration consumes exactly one Monte-Carlo sample
+// stream — the litho+extract pipeline runs once per trial and the
+// extracted ratios feed the tdp formula at all four sizes, instead of
+// resampling per (option, size) cell.
+func Table4Surface(e Env) ([]mc.SigmaSurfaceRow, error) {
+	m, err := e.Model()
+	if err != nil {
+		return nil, err
+	}
+	return mc.SigmaSurface(e.ctx(), e.Proc, m, e.Cap, PaperSizes, PaperOLBudgets, e.MC)
+}
+
+// FormatTable4Surface renders the extended sweep: one row per
+// option/overlay, one σ column per array size.
+func FormatTable4Surface(rows []mc.SigmaSurfaceRow) string {
+	var b strings.Builder
+	b.WriteString("Table IV (extended): tdp σ values across the array DOE\n")
+	fmt.Fprintf(&b, "%-24s", "patterning option")
+	if len(rows) > 0 {
+		for _, c := range rows[0].Cells {
+			// Pad by rune count, not bytes: σ is 2 bytes / 1 column.
+			h := fmt.Sprintf("σ@10x%d", c.N)
+			fmt.Fprintf(&b, " %*s", 11+len(h)-utf8.RuneCountInString(h), h)
+		}
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		name := r.Option.String()
+		if r.Option == litho.LE3 {
+			name = fmt.Sprintf("%s %.0fnm OL", name, r.OL*1e9)
+		}
+		fmt.Fprintf(&b, "%-24s", name)
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, " %11.3f", c.Sigma)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
 }
 
 // FormatTable4 renders the sweep paper-style.

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -208,5 +209,59 @@ func TestTable4Sweep(t *testing.T) {
 	}
 	if !strings.Contains(FormatTable4(rows), "Table IV") {
 		t.Fatal("format")
+	}
+}
+
+func TestTable4SurfaceSharedStream(t *testing.T) {
+	e := testEnv()
+	rows, err := Table4Surface(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(PaperOLBudgets)+2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Cells) != len(PaperSizes) {
+			t.Fatalf("%v: cells %d", r.Option, len(r.Cells))
+		}
+		for j, c := range r.Cells {
+			if c.N != PaperSizes[j] || c.Sigma <= 0 {
+				t.Fatalf("%v cell %+v", r.Option, c)
+			}
+		}
+	}
+	// The n=64 column must agree exactly with the classic Table IV (both
+	// come from the same engine and the same per-trial PRNG derivation).
+	sweep, err := Table4(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if r.Cells[1].Sigma != sweep[i].Sigma {
+			t.Fatalf("row %d: surface σ %g vs sweep σ %g", i, r.Cells[1].Sigma, sweep[i].Sigma)
+		}
+	}
+	out := FormatTable4Surface(rows)
+	for _, want := range []string{"Table IV (extended)", "σ@10x1024", "SADP"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+	if got := len(Table4SurfaceReport(rows).Rows); got != len(rows)*len(PaperSizes) {
+		t.Fatalf("report rows %d", got)
+	}
+}
+
+func TestEnvContextCancelsExperiments(t *testing.T) {
+	e := testEnv()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e.Ctx = ctx
+	if _, err := Table4(e); err == nil {
+		t.Fatal("canceled context must abort Table IV")
+	}
+	if _, err := Fig5(e, 8e-9, 64); err == nil {
+		t.Fatal("canceled context must abort Fig. 5")
 	}
 }

@@ -71,6 +71,23 @@ func Fig5Report(results []Fig5Result) *report.Table {
 	return t
 }
 
+// Table4SurfaceReport converts the extended σ surface (long format: one
+// record per option/overlay/size cell).
+func Table4SurfaceReport(rows []mc.SigmaSurfaceRow) *report.Table {
+	t := report.New("Table IV (extended): tdp sigma per option across array sizes",
+		"option", "ol_nm", "wordlines", "sigma_pp", "mean_pp")
+	for _, r := range rows {
+		ol := ""
+		if r.Option == litho.LE3 {
+			ol = fmt.Sprintf("%.0f", r.OL*1e9)
+		}
+		for _, c := range r.Cells {
+			_ = t.Appendf(r.Option.String(), ol, c.N, c.Sigma, c.Mean)
+		}
+	}
+	return t
+}
+
 // Table4Report converts the σ sweep.
 func Table4Report(rows []mc.SigmaSweepRow) *report.Table {
 	t := report.New("Table IV: tdp sigma per option",

@@ -1,0 +1,204 @@
+// The streaming multi-observable Monte-Carlo engine. One pass over N
+// samples evaluates a vector of observables per trial (for example the tdp
+// penalty at every DOE array size from a single process-variation draw),
+// aggregating each observable with online Welford statistics so nothing is
+// buffered unless the caller asks for the raw values (histograms, exact
+// quantiles).
+//
+// Determinism: trial i always derives its PRNG stream from (Seed, i), and
+// trials are aggregated in fixed-size blocks that are merged in block
+// order, so every statistic is bit-identical regardless of the worker
+// count. Workers own one reusable PRNG and one scratch vector each; the
+// engine performs no per-trial allocation.
+package mc
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"mpsram/internal/stats"
+)
+
+// blockSize is the number of trials aggregated sequentially into one
+// Welford accumulator before the in-order merge. It is a fixed constant —
+// never derived from the worker count — because the merge tree must be
+// identical for any parallelism for results to stay bit-identical.
+const blockSize = 256
+
+// VectorFunc evaluates one Monte-Carlo trial with the given PRNG, writing
+// one value per observable into out (whose length is the observable count
+// passed to RunVector). It returns false to reject the trial (e.g.
+// collapsed geometry), in which case out is ignored. The out slice is
+// reused across trials by the same worker and must not be retained.
+type VectorFunc func(rng *rand.Rand, out []float64) bool
+
+// VectorResult aggregates a multi-observable run.
+type VectorResult struct {
+	// Stats holds one streaming accumulator per observable, merged in
+	// deterministic block order (bit-identical across worker counts).
+	Stats []stats.Welford
+	// Values holds the accepted observations per observable in trial
+	// order. It is nil unless Config.Collect was set.
+	Values [][]float64
+	// Rejected counts trials for which the VectorFunc returned false.
+	Rejected int
+}
+
+// Accepted returns the number of accepted trials.
+func (r *VectorResult) Accepted() int { return r.Stats[0].N() }
+
+// Summary returns descriptive statistics for observable i: exact
+// (sort-based, including quantiles and skew) when values were collected,
+// otherwise the streaming moments with the order statistics set to NaN.
+// Values[i] is left untouched — Summarize sorts its argument in place, so
+// Summary hands it a copy — preserving the documented trial order and
+// cross-observable pairing.
+func (r *VectorResult) Summary(i int) stats.Summary {
+	if r.Values != nil {
+		return stats.Summarize(append([]float64(nil), r.Values[i]...))
+	}
+	return r.Stats[i].Summary()
+}
+
+// trialSeed derives the per-trial PRNG seed. This is the seed engine's
+// exact derivation — splitmix-style odd-constant multiply of the trial
+// index — and must never change: results for a given (Seed, Samples) are a
+// compatibility surface.
+func trialSeed(seed int64, i int) int64 {
+	return seed ^ int64(uint64(i+1)*0x9E3779B97F4A7C15)
+}
+
+// RunVector executes cfg.Samples trials of f, each producing nobs
+// observables, and streams them into per-observable Welford accumulators.
+// Each trial i reseeds the worker's PRNG from (cfg.Seed, i), making
+// results bit-identical across worker counts. The context cancels the run
+// between blocks; cfg.Progress, if set, is invoked as blocks complete.
+func RunVector(ctx context.Context, cfg Config, nobs int, f VectorFunc) (*VectorResult, error) {
+	if cfg.Samples < 1 {
+		return nil, fmt.Errorf("mc: sample count %d < 1", cfg.Samples)
+	}
+	if nobs < 1 {
+		return nil, fmt.Errorf("mc: observable count %d < 1", nobs)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := cfg.Samples
+	nblocks := (n + blockSize - 1) / blockSize
+	type block struct {
+		agg      []stats.Welford
+		rejected int
+	}
+	blocks := make([]block, nblocks)
+	// Collected values live in one flat trial-major buffer so workers
+	// write disjoint regions without synchronisation.
+	var (
+		vals     []float64
+		accepted []bool
+	)
+	if cfg.Collect {
+		vals = make([]float64, n*nobs)
+		accepted = make([]bool, n)
+	}
+	nw := cfg.workers()
+	if nw > nblocks {
+		nw = nblocks
+	}
+	var (
+		next atomic.Int64 // block cursor
+		done atomic.Int64 // completed trials (for progress)
+		wg   sync.WaitGroup
+
+		// Progress calls are serialized and gated on a high-water mark so
+		// the callback observes strictly increasing done values even when
+		// workers finish blocks out of order.
+		progressMu sync.Mutex
+		progressHW int
+	)
+	report := func(d int) {
+		progressMu.Lock()
+		if d > progressHW {
+			progressHW = d
+			cfg.Progress(d, n)
+		}
+		progressMu.Unlock()
+	}
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One PRNG and one scratch vector per worker, reseeded /
+			// rewritten per trial instead of reallocated.
+			rng := rand.New(rand.NewSource(0))
+			out := make([]float64, nobs)
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				b := int(next.Add(1)) - 1
+				if b >= nblocks {
+					return
+				}
+				lo := b * blockSize
+				hi := lo + blockSize
+				if hi > n {
+					hi = n
+				}
+				agg := make([]stats.Welford, nobs)
+				rej := 0
+				for i := lo; i < hi; i++ {
+					rng.Seed(trialSeed(cfg.Seed, i))
+					if !f(rng, out) {
+						rej++
+						continue
+					}
+					for j := range agg {
+						agg[j].Add(out[j])
+					}
+					if accepted != nil {
+						accepted[i] = true
+						copy(vals[i*nobs:(i+1)*nobs], out)
+					}
+				}
+				blocks[b] = block{agg: agg, rejected: rej}
+				d := done.Add(int64(hi - lo))
+				if cfg.Progress != nil {
+					report(int(d))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mc: run canceled after %d of %d trials: %w", done.Load(), n, err)
+	}
+	res := &VectorResult{Stats: make([]stats.Welford, nobs)}
+	for _, b := range blocks {
+		for j := range res.Stats {
+			res.Stats[j].Merge(b.agg[j])
+		}
+		res.Rejected += b.rejected
+	}
+	if res.Stats[0].N() == 0 {
+		return nil, fmt.Errorf("mc: every one of %d trials was rejected", n)
+	}
+	if cfg.Collect {
+		res.Values = make([][]float64, nobs)
+		acc := res.Stats[0].N()
+		for j := range res.Values {
+			res.Values[j] = make([]float64, 0, acc)
+		}
+		for i := 0; i < n; i++ {
+			if !accepted[i] {
+				continue
+			}
+			for j := 0; j < nobs; j++ {
+				res.Values[j] = append(res.Values[j], vals[i*nobs+j])
+			}
+		}
+	}
+	return res, nil
+}

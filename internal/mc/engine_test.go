@@ -1,0 +1,306 @@
+package mc
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mpsram/internal/litho"
+	"mpsram/internal/stats"
+)
+
+// gauss1 is a cheap single-observable trial.
+func gauss1(rng *rand.Rand, out []float64) bool {
+	out[0] = rng.NormFloat64()
+	return true
+}
+
+// gauss3 is a cheap 3-observable trial: three transforms of one draw.
+func gauss3(rng *rand.Rand, out []float64) bool {
+	v := rng.NormFloat64()
+	out[0] = v
+	out[1] = 2*v + 1
+	out[2] = v * v
+	return true
+}
+
+func TestRunVectorMoments(t *testing.T) {
+	vr, err := RunVector(context.Background(), Config{Samples: 20000, Seed: 11}, 3, gauss3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.Accepted() != 20000 || vr.Rejected != 0 {
+		t.Fatalf("accepted %d rejected %d", vr.Accepted(), vr.Rejected)
+	}
+	if m := vr.Stats[0].Mean(); math.Abs(m) > 0.05 {
+		t.Fatalf("obs0 mean %g", m)
+	}
+	if m := vr.Stats[1].Mean(); math.Abs(m-1) > 0.1 {
+		t.Fatalf("obs1 mean %g", m)
+	}
+	if s := vr.Stats[1].Std(); math.Abs(s-2) > 0.1 {
+		t.Fatalf("obs1 std %g", s)
+	}
+	// E[v²] = 1 for the standard normal.
+	if m := vr.Stats[2].Mean(); math.Abs(m-1) > 0.05 {
+		t.Fatalf("obs2 mean %g", m)
+	}
+	if vr.Values != nil {
+		t.Fatal("values buffered without Collect")
+	}
+	// Without collection, Summary comes from the streaming moments and
+	// marks the unrecoverable order statistics as NaN.
+	s := vr.Summary(1)
+	if s.N != 20000 || s.Mean != vr.Stats[1].Mean() || !math.IsNaN(s.Median) {
+		t.Fatalf("streaming summary %+v", s)
+	}
+}
+
+// TestRunVectorBitIdenticalAcrossWorkers is the determinism gate: the
+// streaming statistics, the rejection count and the collected values must
+// be exactly identical for Workers ∈ {1, 4, GOMAXPROCS}.
+func TestRunVectorBitIdenticalAcrossWorkers(t *testing.T) {
+	f := func(rng *rand.Rand, out []float64) bool {
+		v := rng.NormFloat64()
+		out[0] = v
+		out[1] = math.Exp(v / 3)
+		return v > -2 // reject the left tail so rejection bookkeeping is exercised
+	}
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	var ref *VectorResult
+	for _, w := range counts {
+		vr, err := RunVector(context.Background(), Config{Samples: 3000, Seed: 42, Workers: w, Collect: true}, 2, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = vr
+			continue
+		}
+		if vr.Rejected != ref.Rejected {
+			t.Fatalf("workers=%d: rejected %d vs %d", w, vr.Rejected, ref.Rejected)
+		}
+		for j := range vr.Stats {
+			if vr.Stats[j] != ref.Stats[j] {
+				t.Fatalf("workers=%d obs %d: welford state differs: %+v vs %+v",
+					w, j, vr.Stats[j], ref.Stats[j])
+			}
+			if len(vr.Values[j]) != len(ref.Values[j]) {
+				t.Fatalf("workers=%d obs %d: value count differs", w, j)
+			}
+			for i := range vr.Values[j] {
+				if vr.Values[j][i] != ref.Values[j][i] {
+					t.Fatalf("workers=%d obs %d trial %d: %v vs %v",
+						w, j, i, vr.Values[j][i], ref.Values[j][i])
+				}
+			}
+		}
+	}
+}
+
+func TestRunVectorAllRejected(t *testing.T) {
+	_, err := RunVector(context.Background(), Config{Samples: 100, Seed: 1}, 1,
+		func(rng *rand.Rand, out []float64) bool { return false })
+	if err == nil || !strings.Contains(err.Error(), "every one of 100") {
+		t.Fatalf("all-rejected run must error, got %v", err)
+	}
+}
+
+func TestRunVectorBadConfig(t *testing.T) {
+	bg := context.Background()
+	if _, err := RunVector(bg, Config{Samples: 0}, 1, gauss1); err == nil {
+		t.Fatal("zero samples must error")
+	}
+	if _, err := RunVector(bg, Config{Samples: 10}, 0, gauss1); err == nil {
+		t.Fatal("zero observables must error")
+	}
+}
+
+func TestRunVectorCancellationMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	cfg := Config{
+		Samples: 200000,
+		Seed:    5,
+		Workers: 2,
+		Progress: func(done, total int) {
+			// Cancel once a few blocks are in; the run must stop well
+			// short of the full budget.
+			if calls.Add(1) == 3 {
+				cancel()
+			}
+		},
+	}
+	_, err := RunVector(ctx, cfg, 1, func(rng *rand.Rand, out []float64) bool {
+		out[0] = rng.NormFloat64()
+		return true
+	})
+	if err == nil || !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("canceled run must report cancellation, got %v", err)
+	}
+	// A pre-canceled context fails immediately.
+	pre, precancel := context.WithCancel(context.Background())
+	precancel()
+	if _, err := RunVector(pre, Config{Samples: 100, Seed: 1}, 1, gauss1); err == nil {
+		t.Fatal("pre-canceled context must error")
+	}
+}
+
+func TestRunVectorProgressReachesTotal(t *testing.T) {
+	var mu sync.Mutex
+	var last, calls int
+	cfg := Config{Samples: 1000, Seed: 3, Workers: 4, Progress: func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if total != 1000 {
+			t.Errorf("total %d", total)
+		}
+		// The engine serializes callbacks with strictly increasing done.
+		if done <= last {
+			t.Errorf("done %d after %d: not strictly increasing", done, last)
+		}
+		last = done
+	}}
+	if _, err := RunVector(context.Background(), cfg, 1, gauss1); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 || last != 1000 {
+		t.Fatalf("progress calls=%d last=%d", calls, last)
+	}
+}
+
+// TestWelfordMatchesSummarize checks the streaming aggregation against the
+// buffered exact statistics on the real tdp observable: same stream, the
+// Welford mean/std must agree with stats.Summarize to ~1e-9 pp.
+func TestWelfordMatchesSummarize(t *testing.T) {
+	p, m := model(t)
+	cfg := Config{Samples: 4000, Seed: 2015, Collect: true}
+	vr, err := TdpAcrossSizes(context.Background(), p, litho.LE3, m, cm, []int{16, 64, 256, 1024}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range vr.Stats {
+		// Summarize sorts in place; copy to keep Values in trial order.
+		exact := stats.Summarize(append([]float64(nil), vr.Values[j]...))
+		if exact.N != vr.Stats[j].N() {
+			t.Fatalf("obs %d: N %d vs %d", j, exact.N, vr.Stats[j].N())
+		}
+		if d := math.Abs(exact.Mean - vr.Stats[j].Mean()); d > 1e-9 {
+			t.Fatalf("obs %d: mean differs by %g", j, d)
+		}
+		if d := math.Abs(exact.Std - vr.Stats[j].Std()); d > 1e-9 {
+			t.Fatalf("obs %d: std differs by %g", j, d)
+		}
+		if exact.Min != vr.Stats[j].Min() || exact.Max != vr.Stats[j].Max() {
+			t.Fatalf("obs %d: min/max differ", j)
+		}
+	}
+}
+
+// TestSharedStreamMatchesPerCell: evaluating n=64 as one observable of the
+// shared 4-size stream must give bit-identical per-trial values to the
+// dedicated single-size distribution (same draws, same formula).
+func TestSharedStreamMatchesPerCell(t *testing.T) {
+	p, m := model(t)
+	cfg := Config{Samples: 2000, Seed: 7}
+	single, err := TdpDistribution(p, litho.LE3, m, cm, 64, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Collect = true
+	shared, err := TdpAcrossSizes(context.Background(), p, litho.LE3, m, cm, []int{16, 64, 256, 1024}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedAt64 := append([]float64(nil), shared.Values[1]...)
+	exact := stats.Summarize(sharedAt64)
+	if exact != single.Summary {
+		t.Fatalf("shared-stream n=64 summary differs from per-cell run:\n%v\n%v", exact, single.Summary)
+	}
+	if shared.Rejected != single.Rejected {
+		t.Fatalf("rejected %d vs %d", shared.Rejected, single.Rejected)
+	}
+}
+
+// TestSigmaSurfaceAgreesWithSweep: the Table IV wrapper and the full
+// surface share one code path; at n=64 they must agree exactly.
+func TestSigmaSurfaceAgreesWithSweep(t *testing.T) {
+	p, m := model(t)
+	cfg := Config{Samples: 1500, Seed: 9}
+	budgets := []float64{3e-9, 8e-9}
+	sweep, err := SigmaSweep(p, m, cm, 64, budgets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surf, err := SigmaSurface(context.Background(), p, m, cm, []int{16, 64, 1024}, budgets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(surf) != len(sweep) {
+		t.Fatalf("row count %d vs %d", len(surf), len(sweep))
+	}
+	for i, row := range surf {
+		if row.Option != sweep[i].Option || row.OL != sweep[i].OL {
+			t.Fatalf("row %d config mismatch", i)
+		}
+		if len(row.Cells) != 3 || row.Cells[1].N != 64 {
+			t.Fatalf("row %d cells %+v", i, row.Cells)
+		}
+		if row.Cells[1].Sigma != sweep[i].Sigma || row.Cells[1].Mean != sweep[i].Mean {
+			t.Fatalf("row %d: surface (%g,%g) vs sweep (%g,%g)", i,
+				row.Cells[1].Sigma, row.Cells[1].Mean, sweep[i].Sigma, sweep[i].Mean)
+		}
+		// tdp spread grows with the bit line: σ ordering across sizes.
+		if !(row.Cells[0].Sigma > 0 && row.Cells[2].Sigma > 0) {
+			t.Fatalf("row %d: nonpositive sigma", i)
+		}
+	}
+}
+
+// TestSummaryPreservesTrialOrder: Summary must not sort Values in place —
+// callers pair Values[a][k] with Values[b][k] per trial.
+func TestSummaryPreservesTrialOrder(t *testing.T) {
+	vr, err := RunVector(context.Background(), Config{Samples: 500, Seed: 8, Collect: true}, 2,
+		func(rng *rand.Rand, out []float64) bool {
+			v := rng.NormFloat64()
+			out[0] = v
+			out[1] = -v
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), vr.Values[0]...)
+	if s := vr.Summary(0); s.N != 500 {
+		t.Fatalf("summary %+v", s)
+	}
+	for i, v := range vr.Values[0] {
+		if v != before[i] {
+			t.Fatalf("Summary reordered Values: index %d", i)
+		}
+		if vr.Values[1][i] != -v {
+			t.Fatalf("cross-observable pairing broken at trial %d", i)
+		}
+	}
+}
+
+func TestRunCtxMatchesRun(t *testing.T) {
+	f := func(rng *rand.Rand) (float64, bool) { return rng.Float64(), true }
+	a, err := Run(Config{Samples: 500, Seed: 12}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCtx(context.Background(), Config{Samples: 500, Seed: 12}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Summary != b.Summary {
+		t.Fatal("RunCtx diverges from Run")
+	}
+}

@@ -6,14 +6,18 @@
 //
 // Sampling is deterministic for a given seed and independent of the
 // worker count: every sample index derives its own PRNG stream, so
-// parallel runs are exactly reproducible.
+// parallel runs are exactly reproducible. The engine in engine.go streams
+// a vector of observables per trial — one litho+extract draw can feed the
+// tdp formula at every array size at once — which is how the Table IV
+// surface shares a single sample stream per option instead of resampling
+// per cell.
 package mc
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sync"
 
 	"mpsram/internal/analytic"
 	"mpsram/internal/extract"
@@ -27,6 +31,15 @@ type Config struct {
 	Samples int
 	Seed    int64
 	Workers int // 0 = GOMAXPROCS
+	// Collect retains every accepted observation (per observable) for
+	// exact quantiles and histograms. Off, the engine keeps only the
+	// streaming Welford moments — no O(Samples) buffer.
+	Collect bool
+	// Progress, if non-nil, is called as trial blocks complete with the
+	// number of finished trials and the total. Calls are serialized by
+	// the engine and done is strictly increasing within one run, so the
+	// callback needs no locking of its own.
+	Progress func(done, total int)
 }
 
 func (c Config) workers() int {
@@ -52,49 +65,23 @@ type Result struct {
 // PRNG seeded from (cfg.Seed, i), making results bit-identical across
 // worker counts.
 func Run(cfg Config, f SampleFunc) (Result, error) {
-	if cfg.Samples < 1 {
-		return Result{}, fmt.Errorf("mc: sample count %d < 1", cfg.Samples)
+	return RunCtx(context.Background(), cfg, f)
+}
+
+// RunCtx is Run with cancellation: the context aborts the run between
+// trial blocks. It is a single-observable, value-collecting view of the
+// streaming engine in RunVector.
+func RunCtx(ctx context.Context, cfg Config, f SampleFunc) (Result, error) {
+	cfg.Collect = true
+	vr, err := RunVector(ctx, cfg, 1, func(rng *rand.Rand, out []float64) bool {
+		v, ok := f(rng)
+		out[0] = v
+		return ok
+	})
+	if err != nil {
+		return Result{}, err
 	}
-	type out struct {
-		v  float64
-		ok bool
-	}
-	results := make([]out, cfg.Samples)
-	var wg sync.WaitGroup
-	nw := cfg.workers()
-	chunk := (cfg.Samples + nw - 1) / nw
-	for w := 0; w < nw; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > cfg.Samples {
-			hi = cfg.Samples
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				mix := int64(uint64(i+1) * 0x9E3779B97F4A7C15)
-				rng := rand.New(rand.NewSource(cfg.Seed ^ mix))
-				v, ok := f(rng)
-				results[i] = out{v, ok}
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	res := Result{Values: make([]float64, 0, cfg.Samples)}
-	for _, r := range results {
-		if r.ok {
-			res.Values = append(res.Values, r.v)
-		} else {
-			res.Rejected++
-		}
-	}
-	if len(res.Values) == 0 {
-		return res, fmt.Errorf("mc: every one of %d trials was rejected", cfg.Samples)
-	}
+	res := Result{Values: vr.Values[0], Rejected: vr.Rejected}
 	res.Summary = stats.Summarize(res.Values)
 	return res, nil
 }
@@ -113,14 +100,49 @@ func SampleRatios(p tech.Process, o litho.Option, cm extract.CapModel, rng *rand
 	return r, true
 }
 
+// TdpVector returns the multi-observable trial function behind the shared
+// sample stream: one SampleRatios draw, evaluated through the analytical
+// tdp formula at every array size in sizes.
+func TdpVector(p tech.Process, o litho.Option, m analytic.Params, cm extract.CapModel, sizes []int) VectorFunc {
+	return func(rng *rand.Rand, out []float64) bool {
+		r, ok := SampleRatios(p, o, cm, rng)
+		if !ok {
+			return false
+		}
+		for j, n := range sizes {
+			out[j] = m.TdpPct(n, r.Rvar, r.Cvar)
+		}
+		return true
+	}
+}
+
+// TdpAcrossSizes runs one Monte-Carlo stream for option o and evaluates
+// the tdp penalty at every array size in sizes from each draw — the
+// litho+extract pipeline runs once per trial no matter how many sizes are
+// requested. Observable j of the result corresponds to sizes[j].
+func TdpAcrossSizes(ctx context.Context, p tech.Process, o litho.Option, m analytic.Params, cm extract.CapModel, sizes []int, cfg Config) (*VectorResult, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("mc: no array sizes requested")
+	}
+	return RunVector(ctx, cfg, len(sizes), TdpVector(p, o, m, cm, sizes))
+}
+
 // TdpDistribution runs the paper's Monte-Carlo: sample process variation
 // for option o, extract Rvar/Cvar, evaluate the analytical tdp formula at
 // array size n. Returns the aggregated distribution of tdp in percent.
 func TdpDistribution(p tech.Process, o litho.Option, m analytic.Params, cm extract.CapModel, n int, cfg Config) (Result, error) {
+	return TdpDistributionCtx(context.Background(), p, o, m, cm, n, cfg)
+}
+
+// TdpDistributionCtx is TdpDistribution with cancellation.
+func TdpDistributionCtx(ctx context.Context, p tech.Process, o litho.Option, m analytic.Params, cm extract.CapModel, n int, cfg Config) (Result, error) {
 	if err := m.Validate(); err != nil {
 		return Result{}, err
 	}
-	return Run(cfg, func(rng *rand.Rand) (float64, bool) {
+	return RunCtx(ctx, cfg, func(rng *rand.Rand) (float64, bool) {
 		r, ok := SampleRatios(p, o, cm, rng)
 		if !ok {
 			return 0, false
@@ -129,8 +151,8 @@ func TdpDistribution(p tech.Process, o litho.Option, m analytic.Params, cm extra
 	})
 }
 
-// Histogram bins the result values into bins uniform bins spanning
-// slightly beyond the observed range (Fig. 5 rendering).
+// Histogram bins the result values into uniform bins spanning slightly
+// beyond the observed range (Fig. 5 rendering).
 func (r Result) Histogram(bins int) (*stats.Histogram, error) {
 	lo, hi := r.Summary.Min, r.Summary.Max
 	span := hi - lo
@@ -156,23 +178,77 @@ type SigmaSweepRow struct {
 	Mean   float64
 }
 
+// SigmaCell is the tdp spread at one array size within a surface row.
+type SigmaCell struct {
+	N     int
+	Sigma float64 // std of tdp in percentage points
+	Mean  float64
+}
+
+// SigmaSurfaceRow is one option/overlay configuration of the extended
+// Table IV: the tdp spread at every requested array size, all computed
+// from one shared sample stream.
+type SigmaSurfaceRow struct {
+	Option litho.Option
+	OL     float64 // LE3 overlay 3σ budget (0 for SADP/EUV)
+	Cells  []SigmaCell
+}
+
+// SigmaSurface computes the tdp σ for LE3 at each overlay budget plus
+// SADP and EUV, across every array size in sizes. Each option/overlay
+// configuration runs exactly one Monte-Carlo stream: every draw's
+// extracted ratios feed the tdp formula at all sizes, so the litho and
+// extraction cost is independent of len(sizes).
+//
+// The cells report exact (collected, sort-based) statistics so that the
+// Table IV numbers stay bit-identical to the seed engine for the same
+// (Seed, Samples); the streaming Welford moments agree to ~1e-12 and
+// remain available through RunVector with Collect off.
+func SigmaSurface(ctx context.Context, p tech.Process, m analytic.Params, cm extract.CapModel, sizes []int, olBudgets []float64, cfg Config) ([]SigmaSurfaceRow, error) {
+	cfg.Collect = true
+	var rows []SigmaSurfaceRow
+	run := func(p tech.Process, o litho.Option, ol float64) error {
+		vr, err := TdpAcrossSizes(ctx, p, o, m, cm, sizes, cfg)
+		if err != nil {
+			return err
+		}
+		cells := make([]SigmaCell, len(sizes))
+		for j, n := range sizes {
+			s := vr.Summary(j)
+			cells[j] = SigmaCell{N: n, Sigma: s.Std, Mean: s.Mean}
+		}
+		rows = append(rows, SigmaSurfaceRow{Option: o, OL: ol, Cells: cells})
+		return nil
+	}
+	for _, ol := range olBudgets {
+		if err := run(p.WithOL(ol), litho.LE3, ol); err != nil {
+			return nil, fmt.Errorf("mc: LE3 @OL=%g: %w", ol, err)
+		}
+	}
+	for _, o := range []litho.Option{litho.SADP, litho.EUV} {
+		if err := run(p, o, 0); err != nil {
+			return nil, fmt.Errorf("mc: %v: %w", o, err)
+		}
+	}
+	return rows, nil
+}
+
 // SigmaSweep reproduces Table IV: the tdp σ for LE3 at each overlay budget
 // plus SADP and EUV, all at array size n.
 func SigmaSweep(p tech.Process, m analytic.Params, cm extract.CapModel, n int, olBudgets []float64, cfg Config) ([]SigmaSweepRow, error) {
-	var rows []SigmaSweepRow
-	for _, ol := range olBudgets {
-		res, err := TdpDistribution(p.WithOL(ol), litho.LE3, m, cm, n, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("mc: LE3 @OL=%g: %w", ol, err)
-		}
-		rows = append(rows, SigmaSweepRow{Option: litho.LE3, OL: ol, Sigma: res.Summary.Std, Mean: res.Summary.Mean})
+	return SigmaSweepCtx(context.Background(), p, m, cm, n, olBudgets, cfg)
+}
+
+// SigmaSweepCtx is SigmaSweep with cancellation. It is the
+// single-size view of SigmaSurface.
+func SigmaSweepCtx(ctx context.Context, p tech.Process, m analytic.Params, cm extract.CapModel, n int, olBudgets []float64, cfg Config) ([]SigmaSweepRow, error) {
+	surf, err := SigmaSurface(ctx, p, m, cm, []int{n}, olBudgets, cfg)
+	if err != nil {
+		return nil, err
 	}
-	for _, o := range []litho.Option{litho.SADP, litho.EUV} {
-		res, err := TdpDistribution(p, o, m, cm, n, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("mc: %v: %w", o, err)
-		}
-		rows = append(rows, SigmaSweepRow{Option: o, Sigma: res.Summary.Std, Mean: res.Summary.Mean})
+	rows := make([]SigmaSweepRow, len(surf))
+	for i, r := range surf {
+		rows[i] = SigmaSweepRow{Option: r.Option, OL: r.OL, Sigma: r.Cells[0].Sigma, Mean: r.Cells[0].Mean}
 	}
 	return rows, nil
 }

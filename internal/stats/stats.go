@@ -155,6 +155,25 @@ func (w *Welford) Min() float64 { return w.min }
 // Max returns the largest value seen.
 func (w *Welford) Max() float64 { return w.max }
 
+// Summary converts the streaming moments into a Summary. Order statistics
+// (median, quantiles) and skew cannot be recovered from the accumulator
+// and are reported as NaN; callers that need them must collect the raw
+// values and use Summarize.
+func (w *Welford) Summary() Summary {
+	nan := math.NaN()
+	return Summary{
+		N:      w.n,
+		Mean:   w.mean,
+		Std:    w.Std(),
+		Min:    w.min,
+		Max:    w.max,
+		Median: nan,
+		P05:    nan,
+		P95:    nan,
+		Skew:   nan,
+	}
+}
+
 // Histogram is a fixed-range, uniform-bin histogram.
 type Histogram struct {
 	Lo, Hi float64

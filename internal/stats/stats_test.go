@@ -106,6 +106,26 @@ func TestWelfordMergeProperty(t *testing.T) {
 	}
 }
 
+func TestWelfordSummary(t *testing.T) {
+	var w Welford
+	for _, v := range []float64{2, 4, 6, 8} {
+		w.Add(v)
+	}
+	s := w.Summary()
+	if s.N != 4 || s.Mean != 5 || s.Min != 2 || s.Max != 8 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Std != w.Std() {
+		t.Fatalf("std %g vs %g", s.Std, w.Std())
+	}
+	// Order statistics are unrecoverable from streaming moments.
+	for name, v := range map[string]float64{"median": s.Median, "p05": s.P05, "p95": s.P95, "skew": s.Skew} {
+		if !math.IsNaN(v) {
+			t.Fatalf("%s = %g, want NaN", name, v)
+		}
+	}
+}
+
 func TestWelfordMergeEmpty(t *testing.T) {
 	var a, b Welford
 	a.Add(1)
