@@ -339,6 +339,51 @@ func BenchmarkTable4SurfaceSharedVsPerCell(b *testing.B) {
 	})
 }
 
+// BenchmarkSpiceSweepSharedVsSerial is this refactor's headline: the
+// combined Fig. 4 + Table II + Table III reproduction. "serial" replays
+// the pre-sweep-engine access pattern — three independent loops of
+// one-shot sram calls issuing 13 transients per DOE size (Fig. 4 re-runs
+// the nominal per option, Table II re-runs it again, Table III repeats
+// every Fig. 4 penalty) — while "shared" issues one deduplicated plan of
+// 4 unique transients per size through the sweep engine's worker pool and
+// reads all three tables from the memoized results.
+func BenchmarkSpiceSweepSharedVsSerial(b *testing.B) {
+	e := env(b)
+	serialPenalties := func(b *testing.B) {
+		for _, o := range litho.Options {
+			wc, err := extract.WorstCase(e.Proc, o, e.Cap)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, n := range exp.PaperSizes {
+				if _, _, _, err := sram.TdPenaltyPct(e.Proc, o, wc.Sample, e.Cap, n, e.Build, e.Sim); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			serialPenalties(b)                 // Fig. 4
+			for _, n := range exp.PaperSizes { // Table II
+				if _, err := sram.SimulateTd(e.Proc, litho.EUV, litho.Nominal, e.Cap, n, e.Build, e.Sim); err != nil {
+					b.Fatal(err)
+				}
+			}
+			serialPenalties(b) // Table III
+		}
+	})
+	b.Run("shared", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := exp.SpiceTables(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkMCEngineOverhead isolates the sampling scaffold from the
 // physics: a trivial observable through the full engine, streaming versus
 // value-collecting. Allocations stay O(workers + blocks), not O(samples).

@@ -60,7 +60,8 @@ func main() {
 	ol := flag.Float64("ol", 8, "LE3 overlay 3-sigma budget in nm")
 	n := flag.Int("n", 64, "array word-line count for deck/fig5")
 	lumped := flag.Bool("lumped", false, "use the lumped bit-line ablation")
-	progress := flag.Bool("progress", false, "report Monte-Carlo progress on stderr")
+	workers := flag.Int("workers", 0, "worker count for Monte-Carlo and SPICE sweeps (0 = all CPUs)")
+	progress := flag.Bool("progress", false, "report Monte-Carlo and SPICE sweep progress on stderr")
 	thkNM := flag.Float64("thk", 0, "enable the thickness extension: 3-sigma in nm (ext)")
 	formatFlag := flag.String("format", "text", "output format: text, csv or md")
 	flag.Usage = usage
@@ -82,11 +83,11 @@ func main() {
 		check(tbl.Write(os.Stdout, format))
 	}
 
-	// Ctrl-C cancels a running Monte-Carlo between trial blocks instead of
-	// killing the process mid-write. Once the first signal has canceled
-	// the context, unregister so a second Ctrl-C gets default handling —
-	// experiments that don't consume the context (the SPICE sweeps) stay
-	// interruptible.
+	// Ctrl-C cancels a running experiment instead of killing the process
+	// mid-write: the Monte-Carlo engine checks the context between trial
+	// blocks and the SPICE sweep engine between transients. Once the
+	// first signal has canceled the context, unregister so a second
+	// Ctrl-C gets default handling as a hard stop.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	go func() {
@@ -99,6 +100,7 @@ func main() {
 		core.WithMC(mc.Config{Samples: *samples, Seed: *seed}),
 		core.WithBuild(sram.BuildOptions{Lumped: *lumped}),
 		core.WithContext(ctx),
+		core.WithWorkers(*workers),
 	}
 	if *progress {
 		opts = append(opts, core.WithProgress(progressPrinter()))
@@ -189,17 +191,18 @@ func main() {
 	}
 }
 
-// progressPrinter returns a concurrency-safe Monte-Carlo progress callback
-// that rewrites one stderr line per whole-percent step.
+// progressPrinter returns a concurrency-safe progress callback shared by
+// the Monte-Carlo and SPICE sweep engines that rewrites one stderr line
+// per whole-percent step.
 func progressPrinter() func(done, total int) {
 	var mu sync.Mutex
 	lastDone, lastPct := 0, -1
 	return func(done, total int) {
 		mu.Lock()
 		defer mu.Unlock()
-		// The engine serializes calls with strictly increasing done, so
-		// any non-increase means a new sample stream started (e.g. the
-		// next Table IV row).
+		// Both engines serialize calls with strictly increasing done, so
+		// any non-increase means a new stream started (e.g. the next
+		// Table IV row, or a Monte-Carlo following a SPICE sweep).
 		if done <= lastDone {
 			lastPct = -1
 		}
@@ -209,7 +212,7 @@ func progressPrinter() func(done, total int) {
 			return
 		}
 		lastPct = pct
-		fmt.Fprintf(os.Stderr, "\rmc: %d/%d trials (%d%%)", done, total, pct)
+		fmt.Fprintf(os.Stderr, "\rprogress: %d/%d (%d%%)", done, total, pct)
 		if done == total {
 			fmt.Fprintln(os.Stderr)
 		}

@@ -6,11 +6,23 @@
 // The implementation lives under internal/: technology description
 // (tech), patterning engines (litho), parasitic extraction (extract) with
 // a finite-difference field-solver reference (field), a nodal SPICE engine
-// (circuit, device, sparse, spice), the SRAM column builder (sram), the
-// paper's analytical read-time model (analytic), the streaming
-// multi-observable Monte-Carlo engine and its statistics (mc, stats),
-// layout generation (layout), the per-table/figure experiment drivers
-// (exp) and the public facade (core).
+// (circuit, device, sparse, spice), the SRAM column builder with its
+// reusable build/simulate sessions (sram), the sharded SPICE sweep engine
+// that deduplicates and parallelizes the simulation-driven tables (sweep),
+// the paper's analytical read-time model (analytic), the streaming
+// multi-observable Monte-Carlo engine and its statistics — including P²
+// quantile sketches for collection-free runs (mc, stats), layout
+// generation (layout), the per-table/figure experiment drivers (exp) and
+// the public facade (core).
+//
+// The two execution engines share one design: callers declare work
+// (a sweep.Plan of simulation points; a Monte-Carlo sample budget), the
+// engine deduplicates or streams it across a worker pool with per-worker
+// reusable scratch, and deterministic aggregation makes every result
+// bit-identical for any worker count. Fig. 4, Table II and Table III are
+// views over one shared sweep (16 unique transients instead of the 52 a
+// serial reproduction issues); Fig. 5 and Table IV are views over shared
+// Monte-Carlo streams.
 //
 // The benchmark harness in bench_test.go regenerates every table and
 // figure of the paper's evaluation section; run

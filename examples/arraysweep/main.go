@@ -1,16 +1,20 @@
 // Arraysweep: the Fig. 4 experiment end-to-end on the SPICE engine —
 // worst-case read-time penalty versus array size for all three patterning
 // options, printed as the series the paper plots.
+//
+// The sweep goes through the sharded sweep engine: one declarative plan,
+// deduplicated (one nominal transient per size serves every option's
+// penalty denominator), executed on a worker pool, consumed as views.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"mpsram/internal/core"
-	"mpsram/internal/extract"
 	"mpsram/internal/litho"
-	"mpsram/internal/sram"
+	"mpsram/internal/sweep"
 )
 
 func main() {
@@ -21,22 +25,33 @@ func main() {
 	env := study.Env
 	sizes := []int{16, 64, 256, 1024}
 
-	fmt.Println("Worst-case td penalty vs array size (SPICE, N10):")
+	plan := sweep.NewPlan()
+	plan.AddNominal(sizes...)
+	for _, o := range litho.Options {
+		plan.AddWorstCase(o, sizes...)
+	}
+	res, err := sweep.Run(context.Background(), sweep.Env{
+		Proc:  env.Proc,
+		Cap:   env.Cap,
+		Build: env.Build,
+		Sim:   env.Sim,
+	}, plan, sweep.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Worst-case td penalty vs array size (SPICE, N10; %d unique transients):\n",
+		res.Jobs())
 	fmt.Printf("%-8s", "option")
 	for _, n := range sizes {
 		fmt.Printf(" %10s", fmt.Sprintf("10x%d", n))
 	}
 	fmt.Println()
 	for _, o := range litho.Options {
-		wc, err := extract.WorstCase(env.Proc, o, env.Cap)
-		if err != nil {
-			log.Fatal(err)
-		}
 		fmt.Printf("%-8v", o)
 		for _, n := range sizes {
-			tdp, _, _, err := sram.TdPenaltyPct(env.Proc, o, wc.Sample, env.Cap, n, env.Build, env.Sim)
-			if err != nil {
-				log.Fatal(err)
+			tdp, ok := res.TdpPct(o, n)
+			if !ok {
+				log.Fatalf("missing sweep point %v n=%d", o, n)
 			}
 			fmt.Printf(" %+9.2f%%", tdp)
 		}
@@ -45,9 +60,9 @@ func main() {
 
 	fmt.Println("\nNominal read time vs array size:")
 	for _, n := range sizes {
-		td, err := study.ReadTime(litho.EUV, litho.Nominal, n)
-		if err != nil {
-			log.Fatal(err)
+		td, ok := res.TdNom(n)
+		if !ok {
+			log.Fatalf("missing nominal point n=%d", n)
 		}
 		fmt.Printf("  10x%-5d td = %8.2f ps\n", n, td*1e12)
 	}

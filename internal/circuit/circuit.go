@@ -165,6 +165,22 @@ func (n *Netlist) Node(name string) NodeID {
 	return id
 }
 
+// Reset restores the netlist to the empty single-ground state while
+// retaining the element and node storage already allocated, so a builder
+// that constructs many similar circuits (the SPICE sweep engine's
+// per-worker column scratch) can reuse one Netlist without reallocating
+// its slices on every build.
+func (n *Netlist) Reset() {
+	n.names = n.names[:1]
+	clear(n.byName)
+	n.byName["0"] = Ground
+	n.Rs = n.Rs[:0]
+	n.Cs = n.Cs[:0]
+	n.Vs = n.Vs[:0]
+	n.Is = n.Is[:0]
+	n.Ms = n.Ms[:0]
+}
+
 // NodeName returns the name of node id.
 func (n *Netlist) NodeName(id NodeID) string {
 	if int(id) < len(n.names) {

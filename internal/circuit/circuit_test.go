@@ -114,3 +114,35 @@ func TestWaveformFallbackInWriter(t *testing.T) {
 		t.Fatalf("PWL fallback missing: %s", deck)
 	}
 }
+
+func TestResetReusesStorage(t *testing.T) {
+	n := New()
+	a, b := n.Node("a"), n.Node("b")
+	n.AddR("r", a, b, 10)
+	n.AddC("c", b, Ground, 1e-15)
+	n.AddV("v", a, Ground, DC(1))
+	n.AddI("i", a, Ground, DC(1e-9))
+	n.AddM("m", a, b, Ground, device.NewNMOS(tech.N10().FEOL), 20e-9)
+
+	n.Reset()
+	if n.NumNodes() != 1 {
+		t.Fatalf("reset netlist has %d nodes, want 1 (ground)", n.NumNodes())
+	}
+	if len(n.Rs)+len(n.Cs)+len(n.Vs)+len(n.Is)+len(n.Ms) != 0 {
+		t.Fatal("reset netlist retains elements")
+	}
+	if cap(n.Rs) == 0 || cap(n.names) < 3 {
+		t.Fatal("Reset must keep allocated storage")
+	}
+	// Rebuilding after Reset assigns the same ids in the same order.
+	if got := n.Node("x"); got != a {
+		t.Fatalf("first node after Reset = %d, want %d", got, a)
+	}
+	if n.Node("gnd") != Ground {
+		t.Fatal("ground alias broken after Reset")
+	}
+	n.AddR("r2", n.Node("x"), Ground, 5)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

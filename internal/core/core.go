@@ -63,10 +63,26 @@ func WithBuild(b sram.BuildOptions) Option { return func(e *exp.Env) { e.Build =
 // experiments: canceling it aborts a running study between trial blocks.
 func WithContext(ctx context.Context) Option { return func(e *exp.Env) { e.Ctx = ctx } }
 
-// WithProgress installs a Monte-Carlo progress callback, invoked (possibly
-// concurrently) as trial blocks complete with (done, total).
+// WithProgress installs a progress callback on both engines: the
+// Monte-Carlo engine invokes it as trial blocks complete and the SPICE
+// sweep engine as transients complete, each with (done, total). Both
+// serialize their calls with strictly increasing done values; a new
+// stream restarts from a lower done.
 func WithProgress(fn func(done, total int)) Option {
-	return func(e *exp.Env) { e.MC.Progress = fn }
+	return func(e *exp.Env) {
+		e.MC.Progress = fn
+		e.Sweep.Progress = fn
+	}
+}
+
+// WithWorkers sets the worker-pool size of both the Monte-Carlo and the
+// SPICE sweep engines (0 = GOMAXPROCS). Results are bit-identical for any
+// worker count.
+func WithWorkers(n int) Option {
+	return func(e *exp.Env) {
+		e.MC.Workers = n
+		e.Sweep.Workers = n
+	}
 }
 
 // NewStudy builds a study on the N10 preset with the paper's defaults.
@@ -98,6 +114,12 @@ func (s *Study) ArrayOverview() ([]exp.Fig3Row, error) { return exp.Fig3(s.Env) 
 
 // TdVsSize runs the Fig. 4 SPICE sweep.
 func (s *Study) TdVsSize() ([]exp.Fig4Point, error) { return exp.Fig4(s.Env) }
+
+// SpiceTables runs Fig. 4, Table II and Table III as views over one
+// shared, deduplicated SPICE sweep: every unique transient (one nominal
+// per DOE size, one worst case per option and size) is simulated exactly
+// once and consumed by all three reproductions.
+func (s *Study) SpiceTables() (*exp.SpiceResults, error) { return exp.SpiceTables(s.Env) }
 
 // TdnomComparison runs Table II.
 func (s *Study) TdnomComparison() ([]exp.Table2Row, error) { return exp.Table2(s.Env) }
@@ -163,21 +185,15 @@ func (s *Study) RunAll(w io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(w, exp.FormatFig3(f3))
-	f4, err := s.TdVsSize()
+	// The three SPICE-driven reproductions share one deduplicated sweep:
+	// every unique transient runs exactly once per RunAll invocation.
+	sp, err := s.SpiceTables()
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(w, exp.FormatFig4(f4))
-	t2, err := s.TdnomComparison()
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, exp.FormatTable2(t2))
-	t3, err := s.TdpComparison()
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, exp.FormatTable3(t3))
+	fmt.Fprintln(w, exp.FormatFig4(sp.Fig4))
+	fmt.Fprintln(w, exp.FormatTable2(sp.Table2))
+	fmt.Fprintln(w, exp.FormatTable3(sp.Table3))
 	f5, err := s.Distribution()
 	if err != nil {
 		return err

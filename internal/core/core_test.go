@@ -197,3 +197,40 @@ func TestRunAllEndToEnd(t *testing.T) {
 		}
 	}
 }
+
+func TestWithWorkersAndProgressReachBothEngines(t *testing.T) {
+	var mu sync.Mutex
+	fired := 0
+	s, err := NewStudy(
+		WithMC(mc.Config{Samples: 300, Seed: 1}),
+		WithWorkers(3),
+		WithProgress(func(done, total int) {
+			mu.Lock()
+			fired++
+			mu.Unlock()
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Env.MC.Workers != 3 || s.Env.Sweep.Workers != 3 {
+		t.Fatalf("worker count not propagated: mc=%d sweep=%d",
+			s.Env.MC.Workers, s.Env.Sweep.Workers)
+	}
+	if s.Env.MC.Progress == nil || s.Env.Sweep.Progress == nil {
+		t.Fatal("progress callback not propagated to both engines")
+	}
+	// The sweep engine reports through the shared callback.
+	sp, err := s.TdnomComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp) == 0 {
+		t.Fatal("no Table II rows")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if fired == 0 {
+		t.Fatal("sweep progress never fired")
+	}
+}

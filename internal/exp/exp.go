@@ -26,6 +26,7 @@ import (
 	"mpsram/internal/mc"
 	"mpsram/internal/sram"
 	"mpsram/internal/stats"
+	"mpsram/internal/sweep"
 	"mpsram/internal/tech"
 )
 
@@ -45,6 +46,10 @@ type Env struct {
 	Cap  extract.CapModel
 	// MC controls the Monte-Carlo experiments.
 	MC mc.Config
+	// Sweep controls the sharded SPICE sweep engine behind Fig. 4 and
+	// Tables II–III (worker count, progress callback). Results are
+	// bit-identical for any worker count.
+	Sweep sweep.Config
 	// Build/sim options for the SPICE experiments.
 	Build sram.BuildOptions
 	Sim   sram.SimOptions
@@ -204,23 +209,15 @@ type Fig4Point struct {
 }
 
 // Fig4 reproduces the worst-case td/tdp figure by SPICE simulation of the
-// column at every DOE size for every option.
+// column at every DOE size for every option. It is a view over the shared
+// sweep plan: one nominal transient per size (shared across options) plus
+// one worst-case transient per (option, size).
 func Fig4(e Env) ([]Fig4Point, error) {
-	var pts []Fig4Point
-	for _, o := range litho.Options {
-		wc, err := extract.WorstCase(e.Proc, o, e.Cap)
-		if err != nil {
-			return nil, err
-		}
-		for _, n := range PaperSizes {
-			tdp, td, tdnom, err := sram.TdPenaltyPct(e.Proc, o, wc.Sample, e.Cap, n, e.Build, e.Sim)
-			if err != nil {
-				return nil, fmt.Errorf("fig4 %v n=%d: %w", o, n, err)
-			}
-			pts = append(pts, Fig4Point{Option: o, N: n, TdNom: tdnom, Td: td, TdpPct: tdp})
-		}
+	res, err := e.runSweep(spicePlan(true, false, false))
+	if err != nil {
+		return nil, fmt.Errorf("fig4: %w", err)
 	}
-	return pts, nil
+	return fig4Rows(res)
 }
 
 // FormatFig4 renders the series paper-style: nominal td per size plus the
@@ -245,21 +242,15 @@ type Table2Row struct {
 	FormulaTd float64
 }
 
-// Table2 reproduces the formula-vs-simulation tdnom comparison.
+// Table2 reproduces the formula-vs-simulation tdnom comparison. The
+// simulation column is the sweep engine's nominal transients — the same
+// results Fig. 4's td_nom column and Table III's denominators read.
 func Table2(e Env) ([]Table2Row, error) {
-	m, err := e.Model()
+	res, err := e.runSweep(spicePlan(false, true, false))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("table2: %w", err)
 	}
-	var rows []Table2Row
-	for _, n := range PaperSizes {
-		sim, err := sram.SimulateTd(e.Proc, litho.EUV, litho.Nominal, e.Cap, n, e.Build, e.Sim)
-		if err != nil {
-			return nil, fmt.Errorf("table2 n=%d: %w", n, err)
-		}
-		rows = append(rows, Table2Row{N: n, SimTd: sim, FormulaTd: m.TdNom(n)})
-	}
-	return rows, nil
+	return table2Rows(e, res)
 }
 
 // FormatTable2 renders the comparison.
@@ -285,22 +276,128 @@ type Table3Row struct {
 }
 
 // Table3 reproduces the formula-vs-simulation tdp table at the worst-case
-// corners.
+// corners. Its simulation column reuses exactly the transients Fig. 4
+// runs: issued together (see SpiceTables), every unique transient runs
+// once and both tables read the memoized result.
 func Table3(e Env) ([]Table3Row, error) {
+	res, err := e.runSweep(spicePlan(false, false, true))
+	if err != nil {
+		return nil, fmt.Errorf("table3: %w", err)
+	}
+	return table3Rows(e, res)
+}
+
+// ------------------------------------------------- shared SPICE sweep plan
+
+// SpiceResults bundles the three SPICE-driven reproductions computed from
+// one shared, deduplicated sweep.
+type SpiceResults struct {
+	Fig4   []Fig4Point
+	Table2 []Table2Row
+	Table3 []Table3Row
+}
+
+// SpiceTables runs Fig. 4, Table II and Table III as views over a single
+// sweep plan: the union of their simulation points deduplicates to one
+// nominal transient per DOE size plus one worst-case transient per
+// (option, size) — 16 unique transients instead of the 52 the three
+// serial drivers used to issue.
+func SpiceTables(e Env) (*SpiceResults, error) {
+	res, err := e.runSweep(spicePlan(true, true, true))
+	if err != nil {
+		return nil, fmt.Errorf("spice tables: %w", err)
+	}
+	out := &SpiceResults{}
+	if out.Fig4, err = fig4Rows(res); err != nil {
+		return nil, err
+	}
+	if out.Table2, err = table2Rows(e, res); err != nil {
+		return nil, err
+	}
+	if out.Table3, err = table3Rows(e, res); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// spicePlan declares the simulation points the requested tables need; the
+// plan coalesces the overlap.
+func spicePlan(fig4, table2, table3 bool) *sweep.Plan {
+	pl := sweep.NewPlan()
+	if fig4 || table2 || table3 {
+		// Nominal td per size: Fig. 4's td_nom column, Table II's
+		// simulation column, Table III's penalty denominators.
+		pl.AddNominal(PaperSizes...)
+	}
+	if fig4 || table3 {
+		for _, o := range litho.Options {
+			pl.AddWorstCase(o, PaperSizes...)
+		}
+	}
+	return pl
+}
+
+// runSweep executes a plan under the experiment environment.
+func (e Env) runSweep(pl *sweep.Plan) (*sweep.Result, error) {
+	return sweep.Run(e.ctx(), sweep.Env{
+		Proc:  e.Proc,
+		Cap:   e.Cap,
+		Build: e.Build,
+		Sim:   e.Sim,
+	}, pl, e.Sweep)
+}
+
+// fig4Rows assembles the Fig. 4 series from a sweep result, in the
+// paper's option-major order.
+func fig4Rows(res *sweep.Result) ([]Fig4Point, error) {
+	var pts []Fig4Point
+	for _, o := range litho.Options {
+		for _, n := range PaperSizes {
+			td, ok1 := res.Td(sweep.Point{Option: o, Kind: sweep.WorstCase, N: n})
+			tdnom, ok2 := res.TdNom(n)
+			tdp, ok3 := res.TdpPct(o, n)
+			if !ok1 || !ok2 || !ok3 {
+				return nil, fmt.Errorf("fig4 %v n=%d: point missing from sweep", o, n)
+			}
+			pts = append(pts, Fig4Point{Option: o, N: n, TdNom: tdnom, Td: td, TdpPct: tdp})
+		}
+	}
+	return pts, nil
+}
+
+// table2Rows assembles the Table II comparison from a sweep result.
+func table2Rows(e Env, res *sweep.Result) ([]Table2Row, error) {
+	m, err := e.Model()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table2Row
+	for _, n := range PaperSizes {
+		sim, ok := res.TdNom(n)
+		if !ok {
+			return nil, fmt.Errorf("table2 n=%d: point missing from sweep", n)
+		}
+		rows = append(rows, Table2Row{N: n, SimTd: sim, FormulaTd: m.TdNom(n)})
+	}
+	return rows, nil
+}
+
+// table3Rows assembles the Table III comparison from a sweep result.
+func table3Rows(e Env, res *sweep.Result) ([]Table3Row, error) {
 	m, err := e.Model()
 	if err != nil {
 		return nil, err
 	}
 	var rows []Table3Row
 	for _, o := range litho.Options {
-		wc, err := extract.WorstCase(e.Proc, o, e.Cap)
-		if err != nil {
-			return nil, err
+		wc, ok := res.WorstCase(o)
+		if !ok {
+			return nil, fmt.Errorf("table3 %v: worst case missing from sweep", o)
 		}
 		for _, n := range PaperSizes {
-			simPct, _, _, err := sram.TdPenaltyPct(e.Proc, o, wc.Sample, e.Cap, n, e.Build, e.Sim)
-			if err != nil {
-				return nil, fmt.Errorf("table3 %v n=%d: %w", o, n, err)
+			simPct, okP := res.TdpPct(o, n)
+			if !okP {
+				return nil, fmt.Errorf("table3 %v n=%d: point missing from sweep", o, n)
 			}
 			rows = append(rows, Table3Row{
 				Option:     o,

@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSpiceTablesSharedPlanMatchesIndividualDrivers is the dedup
+// correctness gate: the combined plan behind `mpvar all` must reproduce
+// the exact rows of the individually-planned Fig. 4, Table II and
+// Table III drivers, bit for bit, at different worker counts.
+func TestSpiceTablesSharedPlanMatchesIndividualDrivers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full SPICE sweep")
+	}
+	e1 := testEnv()
+	e1.Sweep.Workers = 1
+	shared1, err := SpiceTables(e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e8 := testEnv()
+	e8.Sweep.Workers = 8
+	shared8, err := SpiceTables(e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worker-count determinism: every row identical at 1 vs 8 workers.
+	if len(shared1.Fig4) != len(shared8.Fig4) ||
+		len(shared1.Table2) != len(shared8.Table2) ||
+		len(shared1.Table3) != len(shared8.Table3) {
+		t.Fatal("row counts differ across worker counts")
+	}
+	for i := range shared1.Fig4 {
+		if shared1.Fig4[i] != shared8.Fig4[i] {
+			t.Fatalf("fig4 row %d differs: %+v vs %+v", i, shared1.Fig4[i], shared8.Fig4[i])
+		}
+	}
+	for i := range shared1.Table2 {
+		if shared1.Table2[i] != shared8.Table2[i] {
+			t.Fatalf("table2 row %d differs across worker counts", i)
+		}
+	}
+	for i := range shared1.Table3 {
+		if shared1.Table3[i] != shared8.Table3[i] {
+			t.Fatalf("table3 row %d differs across worker counts", i)
+		}
+	}
+	// View equivalence: the shared plan yields the same rows as the
+	// per-table plans (which in turn match the pre-refactor serial path;
+	// see sweep.TestRunMatchesSerialOneShotPath).
+	f4, err := Fig4(e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f4 {
+		if f4[i] != shared8.Fig4[i] {
+			t.Fatalf("fig4 row %d: individual %+v vs shared %+v", i, f4[i], shared8.Fig4[i])
+		}
+	}
+	t2, err := Table2(e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range t2 {
+		if t2[i] != shared8.Table2[i] {
+			t.Fatalf("table2 row %d: individual vs shared mismatch", i)
+		}
+	}
+	t3, err := Table3(e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range t3 {
+		if t3[i] != shared8.Table3[i] {
+			t.Fatalf("table3 row %d: individual vs shared mismatch", i)
+		}
+	}
+	// Rendering equivalence closes the loop for the CLI output.
+	if FormatFig4(shared1.Fig4) != FormatFig4(shared8.Fig4) {
+		t.Fatal("formatted Fig. 4 differs across worker counts")
+	}
+	if FormatTable3(shared1.Table3) != FormatTable3(shared8.Table3) {
+		t.Fatal("formatted Table III differs across worker counts")
+	}
+}
+
+func TestSpiceSweepCancellation(t *testing.T) {
+	e := testEnv()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e.Ctx = ctx
+	start := time.Now()
+	for name, run := range map[string]func() error{
+		"fig4":   func() error { _, err := Fig4(e); return err },
+		"table2": func() error { _, err := Table2(e); return err },
+		"table3": func() error { _, err := Table3(e); return err },
+		"all":    func() error { _, err := SpiceTables(e); return err },
+	} {
+		err := run()
+		if err == nil {
+			t.Fatalf("%s: canceled context must abort the sweep", name)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: error %v does not wrap context.Canceled", name, err)
+		}
+	}
+	// Prompt return: none of the four may have run its DOE (seconds each).
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("canceled sweeps took %v", d)
+	}
+}

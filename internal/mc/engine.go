@@ -1,7 +1,8 @@
 // The streaming multi-observable Monte-Carlo engine. One pass over N
 // samples evaluates a vector of observables per trial (for example the tdp
 // penalty at every DOE array size from a single process-variation draw),
-// aggregating each observable with online Welford statistics so nothing is
+// aggregating each observable with online Welford statistics — plus P²
+// quantile sketches for approximate median/P05/P95 — so nothing is
 // buffered unless the caller asks for the raw values (histograms, exact
 // quantiles).
 //
@@ -35,11 +36,37 @@ const blockSize = 256
 // reused across trials by the same worker and must not be retained.
 type VectorFunc func(rng *rand.Rand, out []float64) bool
 
+// QuantileSketch bundles the streaming P² order-statistic estimators the
+// engine maintains per observable when values are not collected.
+type QuantileSketch struct {
+	P05, Median, P95 stats.P2
+}
+
+// newQuantileSketch returns a zeroed sketch triple.
+func newQuantileSketch() QuantileSketch {
+	return QuantileSketch{P05: stats.NewP2(0.05), Median: stats.NewP2(0.5), P95: stats.NewP2(0.95)}
+}
+
+// merge folds another sketch triple in (deterministic given a fixed merge
+// order).
+func (q *QuantileSketch) merge(o QuantileSketch) {
+	q.P05.Merge(o.P05)
+	q.Median.Merge(o.Median)
+	q.P95.Merge(o.P95)
+}
+
 // VectorResult aggregates a multi-observable run.
 type VectorResult struct {
 	// Stats holds one streaming accumulator per observable, merged in
 	// deterministic block order (bit-identical across worker counts).
 	Stats []stats.Welford
+	// Quantiles holds one streaming P² sketch triple (P05/median/P95)
+	// per observable, maintained only when Config.Collect is off (exact
+	// order statistics are available from Values otherwise). Per-block
+	// sketches are merged in the same deterministic block order as
+	// Stats, so the approximate quantiles are likewise bit-identical
+	// across worker counts.
+	Quantiles []QuantileSketch
 	// Values holds the accepted observations per observable in trial
 	// order. It is nil unless Config.Collect was set.
 	Values [][]float64
@@ -52,15 +79,22 @@ func (r *VectorResult) Accepted() int { return r.Stats[0].N() }
 
 // Summary returns descriptive statistics for observable i: exact
 // (sort-based, including quantiles and skew) when values were collected,
-// otherwise the streaming moments with the order statistics set to NaN.
-// Values[i] is left untouched — Summarize sorts its argument in place, so
-// Summary hands it a copy — preserving the documented trial order and
-// cross-observable pairing.
+// otherwise the streaming moments with approximate P² order statistics
+// (median, P05, P95) and skew set to NaN. Values[i] is left untouched —
+// Summarize sorts its argument in place, so Summary hands it a copy —
+// preserving the documented trial order and cross-observable pairing.
 func (r *VectorResult) Summary(i int) stats.Summary {
 	if r.Values != nil {
 		return stats.Summarize(append([]float64(nil), r.Values[i]...))
 	}
-	return r.Stats[i].Summary()
+	s := r.Stats[i].Summary()
+	if r.Quantiles != nil {
+		q := &r.Quantiles[i]
+		s.P05 = q.P05.Quantile()
+		s.Median = q.Median.Quantile()
+		s.P95 = q.P95.Quantile()
+	}
+	return s
 }
 
 // trialSeed derives the per-trial PRNG seed. This is the seed engine's
@@ -90,6 +124,7 @@ func RunVector(ctx context.Context, cfg Config, nobs int, f VectorFunc) (*Vector
 	nblocks := (n + blockSize - 1) / blockSize
 	type block struct {
 		agg      []stats.Welford
+		quant    []QuantileSketch // nil when collecting (exact path)
 		rejected int
 	}
 	blocks := make([]block, nblocks)
@@ -148,6 +183,13 @@ func RunVector(ctx context.Context, cfg Config, nobs int, f VectorFunc) (*Vector
 					hi = n
 				}
 				agg := make([]stats.Welford, nobs)
+				var quant []QuantileSketch
+				if !cfg.Collect {
+					quant = make([]QuantileSketch, nobs)
+					for j := range quant {
+						quant[j] = newQuantileSketch()
+					}
+				}
 				rej := 0
 				for i := lo; i < hi; i++ {
 					rng.Seed(trialSeed(cfg.Seed, i))
@@ -158,12 +200,17 @@ func RunVector(ctx context.Context, cfg Config, nobs int, f VectorFunc) (*Vector
 					for j := range agg {
 						agg[j].Add(out[j])
 					}
+					for j := range quant {
+						quant[j].P05.Add(out[j])
+						quant[j].Median.Add(out[j])
+						quant[j].P95.Add(out[j])
+					}
 					if accepted != nil {
 						accepted[i] = true
 						copy(vals[i*nobs:(i+1)*nobs], out)
 					}
 				}
-				blocks[b] = block{agg: agg, rejected: rej}
+				blocks[b] = block{agg: agg, quant: quant, rejected: rej}
 				d := done.Add(int64(hi - lo))
 				if cfg.Progress != nil {
 					report(int(d))
@@ -176,9 +223,18 @@ func RunVector(ctx context.Context, cfg Config, nobs int, f VectorFunc) (*Vector
 		return nil, fmt.Errorf("mc: run canceled after %d of %d trials: %w", done.Load(), n, err)
 	}
 	res := &VectorResult{Stats: make([]stats.Welford, nobs)}
+	if !cfg.Collect {
+		res.Quantiles = make([]QuantileSketch, nobs)
+		for j := range res.Quantiles {
+			res.Quantiles[j] = newQuantileSketch()
+		}
+	}
 	for _, b := range blocks {
 		for j := range res.Stats {
 			res.Stats[j].Merge(b.agg[j])
+		}
+		for j := range b.quant {
+			res.Quantiles[j].merge(b.quant[j])
 		}
 		res.Rejected += b.rejected
 	}

@@ -53,11 +53,15 @@ func TestRunVectorMoments(t *testing.T) {
 	if vr.Values != nil {
 		t.Fatal("values buffered without Collect")
 	}
-	// Without collection, Summary comes from the streaming moments and
-	// marks the unrecoverable order statistics as NaN.
+	// Without collection, Summary comes from the streaming moments with
+	// P²-approximate order statistics (obs1 = 1 + 2·gauss has median 1);
+	// skew stays unrecoverable.
 	s := vr.Summary(1)
-	if s.N != 20000 || s.Mean != vr.Stats[1].Mean() || !math.IsNaN(s.Median) {
+	if s.N != 20000 || s.Mean != vr.Stats[1].Mean() || !math.IsNaN(s.Skew) {
 		t.Fatalf("streaming summary %+v", s)
+	}
+	if math.IsNaN(s.Median) || math.Abs(s.Median-1) > 0.15 {
+		t.Fatalf("streaming approximate median %g, want ≈1", s.Median)
 	}
 }
 
@@ -302,5 +306,76 @@ func TestRunCtxMatchesRun(t *testing.T) {
 	}
 	if a.Summary != b.Summary {
 		t.Fatal("RunCtx diverges from Run")
+	}
+}
+
+func TestStreamingQuantilesApproximateExact(t *testing.T) {
+	ctx := context.Background()
+	f := func(rng *rand.Rand, out []float64) bool {
+		out[0] = rng.NormFloat64()
+		out[1] = rng.ExpFloat64()
+		return true
+	}
+	exact, err := RunVector(ctx, Config{Samples: 10000, Seed: 42, Collect: true}, 2, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := RunVector(ctx, Config{Samples: 10000, Seed: 42}, 2, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.Quantiles == nil || len(approx.Quantiles) != 2 {
+		t.Fatal("streaming run must carry quantile sketches")
+	}
+	if exact.Quantiles != nil {
+		t.Fatal("collecting run must not carry sketches (exact path)")
+	}
+	for j := 0; j < 2; j++ {
+		es := exact.Summary(j)
+		as := approx.Summary(j)
+		// The block-merged P² estimates track the exact order statistics
+		// within a modest fraction of the spread (looser for the
+		// heavy-tailed exponential observable).
+		tol := 0.35 * es.Std
+		for _, q := range []struct {
+			name      string
+			got, want float64
+		}{
+			{"median", as.Median, es.Median},
+			{"p05", as.P05, es.P05},
+			{"p95", as.P95, es.P95},
+		} {
+			if math.IsNaN(q.got) {
+				t.Fatalf("obs %d %s: NaN approximate quantile", j, q.name)
+			}
+			if d := math.Abs(q.got - q.want); d > tol {
+				t.Errorf("obs %d %s: approx %.4f vs exact %.4f (|Δ| %.4f > %.4f)",
+					j, q.name, q.got, q.want, d, tol)
+			}
+		}
+		// The Welford moments are untouched by the sketch path: both runs
+		// aggregate them identically.
+		if as.Mean != exact.Stats[j].Mean() || as.Std != exact.Stats[j].Std() {
+			t.Errorf("obs %d: streaming moments diverge between runs", j)
+		}
+	}
+}
+
+func TestStreamingQuantilesBitIdenticalAcrossWorkers(t *testing.T) {
+	ctx := context.Background()
+	base, err := RunVector(ctx, Config{Samples: 5000, Seed: 3, Workers: 1}, 1, gauss1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		r, err := RunVector(ctx, Config{Samples: 5000, Seed: 3, Workers: w}, 1, gauss1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs, rs := base.Summary(0), r.Summary(0)
+		if bs.Median != rs.Median || bs.P05 != rs.P05 || bs.P95 != rs.P95 {
+			t.Fatalf("workers=%d: quantiles (%g,%g,%g) != (%g,%g,%g)",
+				w, rs.P05, rs.Median, rs.P95, bs.P05, bs.Median, bs.P95)
+		}
 	}
 }

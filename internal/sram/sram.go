@@ -123,6 +123,15 @@ func CFE(f tech.FEOL) float64 { return f.WPassGate * f.CJPerM }
 //	                 │C+Cpre      │C                │C          [6T cell]
 //	gnd ──(tap)──  vss_S ──R── vss_{S-1} ── … ── vss_0 ──[M_pd src]
 func BuildColumn(p tech.Process, n int, cp CellParasitics, opt BuildOptions) (*Column, error) {
+	return buildColumnInto(circuit.New(), device.NewNMOS(p.FEOL), device.NewPMOS(p.FEOL),
+		p, n, cp, opt)
+}
+
+// buildColumnInto is BuildColumn with caller-supplied netlist storage and
+// device cards — the reuse hook behind ColumnBuilder. The netlist must be
+// empty (fresh or Reset); construction is deterministic, so a reused
+// netlist yields element-for-element the same circuit as a fresh one.
+func buildColumnInto(nl *circuit.Netlist, nmos, pmos *device.MOS, p tech.Process, n int, cp CellParasitics, opt BuildOptions) (*Column, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("sram: array size %d < 1", n)
 	}
@@ -130,13 +139,12 @@ func BuildColumn(p tech.Process, n int, cp CellParasitics, opt BuildOptions) (*C
 		return nil, fmt.Errorf("sram: non-positive parasitics %+v", cp)
 	}
 	f := p.FEOL
-	nl := circuit.New()
 	col := &Column{
 		Netlist: nl,
 		N:       n,
 		proc:    p,
-		nmos:    device.NewNMOS(f),
-		pmos:    device.NewPMOS(f),
+		nmos:    nmos,
+		pmos:    pmos,
 	}
 
 	segs := opt.segments(n)
@@ -344,44 +352,21 @@ func (c *Column) MeasureTd(cp CellParasitics, opt SimOptions) (ReadResult, error
 	return ReadResult{Td: td, TEnd: tEnd, Dt: dt, Result: res}, nil
 }
 
-// SimulateTd is the one-call convenience used by the experiment drivers:
-// build the column for process p, option o, variation sample s, array size
-// n, and return td in seconds.
+// SimulateTd is the one-call convenience used by the examples and kept as
+// a thin compatibility wrapper: build the column for process p, option o,
+// variation sample s, array size n, and return td in seconds. Callers that
+// simulate more than one point should hold a ColumnBuilder (or drive the
+// sweep engine in internal/sweep), which caches the nominal extraction and
+// reuses netlist storage across trials.
 func SimulateTd(p tech.Process, o litho.Option, s litho.Sample, cm extract.CapModel, n int, bopt BuildOptions, sopt SimOptions) (float64, error) {
-	nom, err := NominalParasitics(p, cm)
-	if err != nil {
-		return 0, err
-	}
-	r, err := extract.VarRatios(p, o, s, cm)
-	if err != nil {
-		return 0, err
-	}
-	col, err := BuildColumn(p, n, nom.Scale(r), bopt)
-	if err != nil {
-		return 0, err
-	}
-	res, err := col.MeasureTd(nom.Scale(r), sopt)
-	if err != nil {
-		return 0, err
-	}
-	return res.Td, nil
+	return NewColumnBuilder(p, cm).SimulateTd(o, s, n, bopt, sopt)
 }
 
 // TdPenaltyPct simulates the nominal and perturbed reads and returns the
-// paper's tdp figure: (td/tdnom − 1)·100.
+// paper's tdp figure: (td/tdnom − 1)·100. Like SimulateTd it is a
+// compatibility wrapper over ColumnBuilder.
 func TdPenaltyPct(p tech.Process, o litho.Option, s litho.Sample, cm extract.CapModel, n int, bopt BuildOptions, sopt SimOptions) (tdp, td, tdnom float64, err error) {
-	tdnom, err = SimulateTd(p, o, litho.Nominal, cm, n, bopt, sopt)
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	td, err = SimulateTd(p, o, s, cm, n, bopt, sopt)
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	if tdnom <= 0 {
-		return 0, 0, 0, fmt.Errorf("sram: non-positive nominal td %g", tdnom)
-	}
-	return (td/tdnom - 1) * 100, td, tdnom, nil
+	return NewColumnBuilder(p, cm).TdPenaltyPct(o, s, n, bopt, sopt)
 }
 
 // SenseMargin reports the read-disturb peak on the internal q node during

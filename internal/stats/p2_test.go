@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQ computes the exact sample quantile of values.
+func exactQ(values []float64, p float64) float64 {
+	v := append([]float64(nil), values...)
+	sort.Float64s(v)
+	return Quantile(v, p)
+}
+
+func TestP2SmallSampleExact(t *testing.T) {
+	e := NewP2(0.5)
+	if !math.IsNaN(e.Quantile()) {
+		t.Fatal("empty sketch must report NaN")
+	}
+	vals := []float64{3, 1, 4, 1.5}
+	for _, v := range vals {
+		e.Add(v)
+	}
+	if got, want := e.Quantile(), exactQ(vals, 0.5); got != want {
+		t.Fatalf("small-sample median %g, want exact %g", got, want)
+	}
+	if e.N() != len(vals) {
+		t.Fatalf("N %d", e.N())
+	}
+}
+
+func TestP2AccuracyAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 20000
+	vals := make([]float64, n)
+	med := NewP2(0.5)
+	p95 := NewP2(0.95)
+	for i := range vals {
+		v := rng.NormFloat64()
+		vals[i] = v
+		med.Add(v)
+		p95.Add(v)
+	}
+	for _, tc := range []struct {
+		name string
+		est  *P2
+		p    float64
+	}{
+		{"median", &med, 0.5},
+		{"p95", &p95, 0.95},
+	} {
+		got := tc.est.Quantile()
+		want := exactQ(vals, tc.p)
+		if d := math.Abs(got - want); d > 0.03 {
+			t.Errorf("%s: P2 %.4f vs exact %.4f (|Δ| = %.4f)", tc.name, got, want, d)
+		}
+	}
+}
+
+func TestP2MergeAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 10240
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()*2 + 1
+	}
+	// Blocks of 256 — the Monte-Carlo engine's aggregation shape.
+	for _, p := range []float64{0.05, 0.5, 0.95} {
+		merged := NewP2(p)
+		for lo := 0; lo < n; lo += 256 {
+			blk := NewP2(p)
+			for _, v := range vals[lo : lo+256] {
+				blk.Add(v)
+			}
+			merged.Merge(blk)
+		}
+		if merged.N() != n {
+			t.Fatalf("p=%g: merged N %d, want %d", p, merged.N(), n)
+		}
+		got := merged.Quantile()
+		want := exactQ(vals, p)
+		// The block merge is approximate; the tolerance is a fraction of
+		// the distribution's spread (σ = 2).
+		if d := math.Abs(got - want); d > 0.25 {
+			t.Errorf("p=%g: merged %.4f vs exact %.4f (|Δ| = %.4f)", p, got, want, d)
+		}
+	}
+}
+
+func TestP2MergeDeterministicAndOrderFixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	blocks := make([][]float64, 8)
+	for b := range blocks {
+		blocks[b] = make([]float64, 100)
+		for i := range blocks[b] {
+			blocks[b][i] = rng.ExpFloat64()
+		}
+	}
+	run := func() float64 {
+		m := NewP2(0.5)
+		for _, blk := range blocks {
+			s := NewP2(0.5)
+			for _, v := range blk {
+				s.Add(v)
+			}
+			m.Merge(s)
+		}
+		return m.Quantile()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same block order must be bit-identical: %g vs %g", a, b)
+	}
+}
+
+func TestP2MergeEdgeCases(t *testing.T) {
+	a := NewP2(0.5)
+	b := NewP2(0.5)
+	for _, v := range []float64{1, 2, 3} {
+		b.Add(v)
+	}
+	a.Merge(b) // empty ← small: adopts
+	if a.N() != 3 || a.Quantile() != 2 {
+		t.Fatalf("adopt merge: n=%d q=%g", a.N(), a.Quantile())
+	}
+	c := NewP2(0.5)
+	c.Add(10)
+	a.Merge(c) // 3+1 ≤ 5: exact re-add
+	if a.N() != 4 {
+		t.Fatalf("small merge n=%d", a.N())
+	}
+	if got, want := a.Quantile(), exactQ([]float64{1, 2, 3, 10}, 0.5); got != want {
+		t.Fatalf("small merge quantile %g want %g", got, want)
+	}
+	empty := NewP2(0.5)
+	a.Merge(empty) // no-op
+	if a.N() != 4 {
+		t.Fatal("empty merge must be a no-op")
+	}
+	// Merged sketches must keep accepting observations.
+	big := NewP2(0.5)
+	for i := 0; i < 300; i++ {
+		big.Add(float64(i % 17))
+	}
+	a.Merge(big)
+	for i := 0; i < 100; i++ {
+		a.Add(float64(i % 13))
+	}
+	if a.N() != 4+300+100 {
+		t.Fatalf("post-merge Add broken: n=%d", a.N())
+	}
+	if q := a.Quantile(); math.IsNaN(q) || q < 0 || q > 17 {
+		t.Fatalf("post-merge quantile %g out of range", q)
+	}
+}
+
+func TestP2PanicsOnBadInput(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("p=0", func() { NewP2(0) })
+	mustPanic("p=1", func() { NewP2(1) })
+	mustPanic("mismatched merge", func() {
+		a, b := NewP2(0.5), NewP2(0.95)
+		a.Merge(b)
+	})
+}
