@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-smoke lint fmt clean
+# Coverage ratchet: CI fails if total -short coverage drops below this.
+# Raise it when coverage grows; never lower it without a written reason.
+COVER_MIN ?= 79.0
+
+.PHONY: all build test test-race bench bench-smoke fuzz-smoke cover cover-check lint fmt clean
 
 all: build lint test
 
@@ -25,6 +29,25 @@ bench:
 # CI smoke: every benchmark once, just to prove the harness still runs.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Fuzz smoke: ten seconds per target. FuzzNetlistReset proves
+# spice.Engine.Reset stays bit-identical to a fresh engine under random
+# topology-stable netlist mutations; FuzzP2Quantile checks the P² sketch
+# (and its deterministic Merge) against exact quantiles on random streams.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzNetlistReset' -fuzztime 10s ./internal/spice
+	$(GO) test -run '^$$' -fuzz 'FuzzP2Quantile' -fuzztime 10s ./internal/stats
+
+# Coverage over the -short suite (the fast deterministic core).
+cover:
+	$(GO) test -short -coverprofile=coverage.out ./...
+
+# Ratcheted gate: fail when total coverage drops below COVER_MIN.
+cover-check: cover
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	echo "total coverage: $$total% (minimum $(COVER_MIN)%)"; \
+	awk -v t=$$total -v m=$(COVER_MIN) 'BEGIN { exit (t+0 < m+0) ? 1 : 0 }' || \
+		{ echo "coverage ratchet failed: $$total% < $(COVER_MIN)%"; exit 1; }
 
 lint:
 	$(GO) vet ./...

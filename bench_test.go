@@ -694,3 +694,72 @@ func BenchmarkAblationAdaptiveStep(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSpiceMC prices the SPICE-in-the-loop Monte-Carlo trial loop
+// and isolates what engine residency buys: both arms draw the same
+// lithography samples, extract the same perturbed parasitics and simulate
+// the same read transients on one reused ColumnBuilder netlist — but the
+// baseline constructs a fresh spice.New engine per trial (the pre-Reset
+// access pattern) while the resident arm re-targets one engine with
+// spice.Engine.Reset. The allocs/op gap is the engine construction cost
+// the Reset path removes from every trial of every worker.
+func BenchmarkSpiceMC(b *testing.B) {
+	e := env(b)
+	const (
+		size   = 16
+		trials = 16
+	)
+	p, cm, o := e.Proc, e.Cap, litho.EUV
+	seedBuilder := sram.NewColumnBuilder(p, cm)
+	nom, err := seedBuilder.Nominal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	nomTd, err := seedBuilder.NominalTds([]int{size}, e.Build, e.Sim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := litho.Params(p, o)
+	run := func(b *testing.B, measure func(builder *sram.ColumnBuilder, cp sram.CellParasitics) (float64, error)) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			builder := sram.NewColumnBuilder(p, cm)
+			builder.SetNominal(nom)
+			rng := rand.New(rand.NewSource(0))
+			for tr := 0; tr < trials; tr++ {
+				rng.Seed(2015 + int64(tr))
+				s := litho.Draw(params, rng)
+				r, err := extract.VarRatios(p, o, s, cm)
+				if err != nil {
+					b.Fatal(err)
+				}
+				td, err := measure(builder, nom.Scale(r))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tdp := (td/nomTd[0] - 1) * 100; tdp < -100 || tdp > 1000 {
+					b.Fatalf("implausible tdp %g", tdp)
+				}
+			}
+		}
+	}
+	b.Run("new-engine-per-trial", func(b *testing.B) {
+		run(b, func(builder *sram.ColumnBuilder, cp sram.CellParasitics) (float64, error) {
+			col, err := builder.Build(size, cp, e.Build)
+			if err != nil {
+				return 0, err
+			}
+			res, err := col.MeasureTd(cp, e.Sim)
+			if err != nil {
+				return 0, err
+			}
+			return res.Td, nil
+		})
+	})
+	b.Run("reset-resident-engine", func(b *testing.B) {
+		run(b, func(builder *sram.ColumnBuilder, cp sram.CellParasitics) (float64, error) {
+			return builder.MeasureTd(size, cp, e.Build, e.Sim)
+		})
+	})
+}

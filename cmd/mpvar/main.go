@@ -42,6 +42,9 @@ experiments:
   fig5     Monte-Carlo tdp distribution (8nm OL, n=64)
   table4   tdp sigma per option and overlay budget
   table4x  extended Table IV: tdp sigma across all DOE sizes (shared stream)
+  mcspice  SPICE-in-the-loop Monte-Carlo tdp distributions (one full read
+           transient per draw and size at -n; every sample costs a
+           transient, so -samples defaults to 200 here instead of 10000)
   all      every experiment in paper order
   snm      static noise margins (hold/read butterfly)
   ext      extension studies: LE2 option, thickness source, write penalty
@@ -70,6 +73,8 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	flagsSeen := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { flagsSeen[f.Name] = true })
 	format, err := report.ParseFormat(*formatFlag)
 	if err != nil {
 		fatal(err)
@@ -147,6 +152,15 @@ func main() {
 		rows, err := study.SigmaSurface()
 		check(err)
 		emit(exp.FormatTable4Surface(rows), exp.Table4SurfaceReport(rows))
+	case "mcspice":
+		// Every sample costs a full read transient, so an unset -samples
+		// uses the re-baselined SPICE-MC budget, not the analytic 10k.
+		if !flagsSeen["samples"] {
+			study.Env.MC.Samples = 200
+		}
+		rows, err := study.SpiceMC([]int{*n})
+		check(err)
+		emit(exp.FormatSpiceMC(rows, study.Env.MC.Samples), exp.SpiceMCReport(rows))
 	case "snm":
 		res, err := sram.StaticNoiseMargins(study.Env.Proc)
 		check(err)

@@ -24,6 +24,16 @@
 // serial reproduction issues); Fig. 5 and Table IV are views over shared
 // Monte-Carlo streams.
 //
+// The two engines also compose: mc.SpiceTdpAcrossSizes hosts a full read
+// transient inside every Monte-Carlo trial (SPICE-in-the-loop), with each
+// worker owning a sram.ColumnBuilder session whose resident spice.Engine
+// is re-targeted per trial through Engine.Reset — the sparse matrices,
+// Newton scratch and waveform storage are allocated once per worker, not
+// once per trial, and Reset is bit-identical to a fresh engine (fuzzed in
+// FuzzNetlistReset). Numeric drift across refactors is pinned by golden
+// CSVs under internal/exp/testdata/golden (regenerate with
+// go test ./internal/exp -run Golden -update).
+//
 // The benchmark harness in bench_test.go regenerates every table and
 // figure of the paper's evaluation section; run
 //

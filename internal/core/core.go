@@ -139,6 +139,13 @@ func (s *Study) SigmaTable() ([]mc.SigmaSweepRow, error) { return exp.Table4(s.E
 // budget at every DOE array size, one shared sample stream per option.
 func (s *Study) SigmaSurface() ([]mc.SigmaSurfaceRow, error) { return exp.Table4Surface(s.Env) }
 
+// SpiceMC runs the SPICE-in-the-loop Monte-Carlo at the given array
+// sizes: one full read transient per draw and size, on per-worker
+// resident engines. The transient budget is Samples × len(sizes) per
+// option, so this wants a budget of hundreds of samples rather than the
+// analytic default of ten thousand.
+func (s *Study) SpiceMC(sizes []int) ([]exp.SpiceMCRow, error) { return exp.SpiceMC(s.Env, sizes) }
+
 // ReadTime simulates one read and returns td for option o under variation
 // sample smp at array size n.
 func (s *Study) ReadTime(o litho.Option, smp litho.Sample, n int) (float64, error) {

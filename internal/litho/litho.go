@@ -26,6 +26,7 @@ package litho
 import (
 	"fmt"
 	"math"
+	"math/rand"
 
 	"mpsram/internal/geom"
 	"mpsram/internal/tech"
@@ -384,6 +385,20 @@ func Params(p tech.Process, o Option) []Param {
 		})
 	}
 	return base
+}
+
+// Draw realizes one Gaussian variation sample from params (as returned by
+// Params): one NormFloat64 per parameter, scaled by its 1σ amplitude, in
+// slice order. This is THE canonical draw — the analytic and
+// SPICE-in-the-loop Monte-Carlo paths both consume it, which is what
+// makes their per-trial sample streams identical draw for draw; the
+// parameter order and draw count are a compatibility surface.
+func Draw(params []Param, rng *rand.Rand) Sample {
+	var s Sample
+	for _, prm := range params {
+		prm.Apply(&s, rng.NormFloat64()*prm.Sigma)
+	}
+	return s
 }
 
 func baseParams(p tech.Process, o Option) []Param {

@@ -36,6 +36,14 @@ const blockSize = 256
 // reused across trials by the same worker and must not be retained.
 type VectorFunc func(rng *rand.Rand, out []float64) bool
 
+// StateVectorFunc is a VectorFunc that additionally receives the worker's
+// state (the value Config.WorkerState returned for this worker, nil when
+// no hook is installed). State gives heavyweight trials a home for
+// per-worker sessions — netlist scratch, resident SPICE engines, memoized
+// extractions — that plain closures over shared data cannot provide
+// without locking.
+type StateVectorFunc func(state any, rng *rand.Rand, out []float64) bool
+
 // QuantileSketch bundles the streaming P² order-statistic estimators the
 // engine maintains per observable when values are not collected.
 type QuantileSketch struct {
@@ -111,6 +119,18 @@ func trialSeed(seed int64, i int) int64 {
 // results bit-identical across worker counts. The context cancels the run
 // between blocks; cfg.Progress, if set, is invoked as blocks complete.
 func RunVector(ctx context.Context, cfg Config, nobs int, f VectorFunc) (*VectorResult, error) {
+	return RunVectorState(ctx, cfg, nobs, func(_ any, rng *rand.Rand, out []float64) bool {
+		return f(rng, out)
+	})
+}
+
+// RunVectorState is RunVector for stateful trials: each worker calls
+// cfg.WorkerState once (when set) and passes the returned value to every
+// trial it evaluates. Aggregation is unchanged — fixed-size blocks merged
+// in block order — so results remain bit-identical across worker counts
+// provided the state honours the purity contract documented on
+// Config.WorkerState.
+func RunVectorState(ctx context.Context, cfg Config, nobs int, f StateVectorFunc) (*VectorResult, error) {
 	if cfg.Samples < 1 {
 		return nil, fmt.Errorf("mc: sample count %d < 1", cfg.Samples)
 	}
@@ -165,10 +185,15 @@ func RunVector(ctx context.Context, cfg Config, nobs int, f VectorFunc) (*Vector
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// One PRNG and one scratch vector per worker, reseeded /
-			// rewritten per trial instead of reallocated.
+			// One PRNG, one scratch vector and (when hooked) one state
+			// value per worker, reseeded / rewritten per trial instead of
+			// reallocated.
 			rng := rand.New(rand.NewSource(0))
 			out := make([]float64, nobs)
+			var state any
+			if cfg.WorkerState != nil {
+				state = cfg.WorkerState()
+			}
 			for {
 				if ctx.Err() != nil {
 					return
@@ -193,7 +218,7 @@ func RunVector(ctx context.Context, cfg Config, nobs int, f VectorFunc) (*Vector
 				rej := 0
 				for i := lo; i < hi; i++ {
 					rng.Seed(trialSeed(cfg.Seed, i))
-					if !f(rng, out) {
+					if !f(state, rng, out) {
 						rej++
 						continue
 					}

@@ -40,6 +40,17 @@ type Config struct {
 	// the engine and done is strictly increasing within one run, so the
 	// callback needs no locking of its own.
 	Progress func(done, total int)
+	// WorkerState, if non-nil, is invoked once per worker goroutine and
+	// its return value handed to every trial that worker evaluates (see
+	// StateVectorFunc). It is the hook that lets heavyweight trials own
+	// per-worker sessions — a SPICE-in-the-loop trial keeps a
+	// sram.ColumnBuilder with a resident engine here — without any
+	// synchronisation. Determinism contract: the state must only cache
+	// pure functions of the trial inputs (memoized extractions, reused
+	// scratch), never values that depend on which trials the worker
+	// happened to receive, so results stay bit-identical across worker
+	// counts.
+	WorkerState func() any
 }
 
 func (c Config) workers() int {
@@ -87,12 +98,10 @@ func RunCtx(ctx context.Context, cfg Config, f SampleFunc) (Result, error) {
 }
 
 // SampleRatios draws one Gaussian process-variation sample for option o
-// and returns the extracted variability ratios.
+// (via the canonical litho.Draw stream) and returns the extracted
+// variability ratios.
 func SampleRatios(p tech.Process, o litho.Option, cm extract.CapModel, rng *rand.Rand) (extract.Ratios, bool) {
-	var s litho.Sample
-	for _, prm := range litho.Params(p, o) {
-		prm.Apply(&s, rng.NormFloat64()*prm.Sigma)
-	}
+	s := litho.Draw(litho.Params(p, o), rng)
 	r, err := extract.VarRatios(p, o, s, cm)
 	if err != nil {
 		return extract.Ratios{}, false

@@ -71,14 +71,42 @@ func (m *Matrix) NNZ() int {
 	return n
 }
 
-// Clone returns a deep copy; the SPICE engine clones the static stamp
-// pattern once per Newton iteration instead of re-assembling it.
+// Clone returns a deep copy with fresh storage. Hot loops that refill the
+// same destination repeatedly (the SPICE engine's Newton work matrix)
+// use CopyFrom instead, which reuses the destination's row storage.
 func (m *Matrix) Clone() *Matrix {
 	c := NewMatrix(m.N)
 	for i, r := range m.Rows {
 		c.Rows[i] = append([]Entry(nil), r...)
 	}
 	return c
+}
+
+// Reuse resets m to an n×n zero matrix while retaining the row storage
+// already allocated, so a hot loop can re-stamp a same-size (or smaller)
+// system without going back to the allocator.
+func (m *Matrix) Reuse(n int) {
+	if cap(m.Rows) >= n {
+		m.Rows = m.Rows[:n]
+	} else {
+		old := m.Rows
+		m.Rows = make([][]Entry, n)
+		copy(m.Rows, old)
+	}
+	for i := range m.Rows {
+		m.Rows[i] = m.Rows[i][:0]
+	}
+	m.N = n
+}
+
+// CopyFrom overwrites m with the contents of src, reusing m's row storage.
+// It is the allocation-free counterpart of Clone for matrices that are
+// refilled every iteration (the SPICE engine's Newton work matrix).
+func (m *Matrix) CopyFrom(src *Matrix) {
+	m.Reuse(src.N)
+	for i, r := range src.Rows {
+		m.Rows[i] = append(m.Rows[i], r...)
+	}
 }
 
 // MulVec computes y = M·x.
@@ -96,17 +124,83 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 
 // Solve performs in-place Gaussian elimination on the matrix and
 // right-hand side b, returning the solution. The matrix is destroyed.
-// Diagonal pivots below tol×(row max) are rejected.
+// Diagonal pivots below tol×(row max) are rejected. It is a convenience
+// wrapper over Solver.Solve with throwaway scratch; hot loops should hold
+// a Solver.
 func (m *Matrix) Solve(b []float64) ([]float64, error) {
+	var s Solver
+	sol, err := s.Solve(m, b)
+	if err != nil {
+		return nil, err
+	}
+	// Detach from the throwaway scratch so the caller owns the result.
+	return append([]float64(nil), sol...), nil
+}
+
+// Solver carries the factorization scratch of Matrix.Solve — the column
+// occupancy lists, the dense scatter accumulator and the solution vector —
+// so a hot loop (the SPICE engine's Newton iterations) can solve many
+// same-size systems without reallocating any of it. The elimination
+// arithmetic is identical to the scratch-free path, so solutions are
+// bit-for-bit the same for the same inputs.
+//
+// The zero Solver is ready for use. A Solver is not safe for concurrent
+// use.
+type Solver struct {
+	cols    [][]int
+	x       []float64
+	mark    []bool
+	touched []int
+	sol     []float64
+}
+
+// reset sizes the scratch for an n-unknown solve. The scatter accumulator
+// and marks are cleared defensively; the occupancy lists are truncated and
+// re-seeded by the caller.
+func (s *Solver) reset(n int) {
+	if cap(s.cols) >= n {
+		s.cols = s.cols[:n]
+	} else {
+		s.cols = make([][]int, n)
+	}
+	for i := range s.cols {
+		s.cols[i] = s.cols[i][:0]
+	}
+	if cap(s.x) >= n {
+		s.x = s.x[:n]
+	} else {
+		s.x = make([]float64, n)
+	}
+	clear(s.x)
+	if cap(s.mark) >= n {
+		s.mark = s.mark[:n]
+	} else {
+		s.mark = make([]bool, n)
+	}
+	clear(s.mark)
+	if cap(s.sol) >= n {
+		s.sol = s.sol[:n]
+	} else {
+		s.sol = make([]float64, n)
+	}
+	s.touched = s.touched[:0]
+}
+
+// Solve performs in-place Gaussian elimination on m and right-hand side b,
+// returning the solution. The matrix is destroyed. The returned slice
+// aliases the solver's scratch and is only valid until the next Solve call
+// on this solver.
+func (s *Solver) Solve(m *Matrix, b []float64) ([]float64, error) {
 	n := m.N
 	if len(b) != n {
 		return nil, fmt.Errorf("sparse: rhs length %d != n %d", len(b), n)
 	}
+	s.reset(n)
 	// Column occupancy: rows (strictly below the diagonal during the
 	// sweep) holding a nonzero in each column. Seeded from the initial
 	// pattern, extended on fill-in. Entries may be stale (already
 	// eliminated); they are filtered when visited.
-	cols := make([][]int, n)
+	cols := s.cols
 	for i, row := range m.Rows {
 		for _, e := range row {
 			if e.Col < i {
@@ -115,8 +209,8 @@ func (m *Matrix) Solve(b []float64) ([]float64, error) {
 		}
 	}
 	// Dense scratch accumulator for row updates.
-	x := make([]float64, n)
-	mark := make([]bool, n)
+	x := s.x
+	mark := s.mark
 	for k := 0; k < n; k++ {
 		rowK := m.Rows[k]
 		// Locate the pivot.
@@ -145,7 +239,7 @@ func (m *Matrix) Solve(b []float64) ([]float64, error) {
 			}
 			factor := rowI[ti].Val / piv
 			// Scatter row i (columns ≥ k only; below-k already done).
-			touched := touchedPool(len(rowI) + len(rowK))
+			touched := s.touched[:0]
 			for _, e := range rowI[ti:] {
 				x[e.Col] = e.Val
 				mark[e.Col] = true
@@ -179,32 +273,30 @@ func (m *Matrix) Solve(b []float64) ([]float64, error) {
 				x[c] = 0
 			}
 			m.Rows[i] = newRow
+			s.touched = touched[:0]
 		}
 	}
 	// Back substitution.
-	sol := make([]float64, n)
+	sol := s.sol
 	for i := n - 1; i >= 0; i-- {
 		row := m.Rows[i]
-		s := b[i]
+		acc := b[i]
 		var diag float64
 		for _, e := range row {
 			switch {
 			case e.Col == i:
 				diag = e.Val
 			case e.Col > i:
-				s -= e.Val * sol[e.Col]
+				acc -= e.Val * sol[e.Col]
 			}
 		}
 		if diag == 0 {
 			return nil, fmt.Errorf("sparse: zero diagonal at back-substitution row %d", i)
 		}
-		sol[i] = s / diag
+		sol[i] = acc / diag
 	}
 	return sol, nil
 }
-
-// touchedPool sizes the scratch column list.
-func touchedPool(capHint int) []int { return make([]int, 0, capHint) }
 
 // DenseSolve solves A·x = b by LU with partial pivoting, used as the gold
 // standard in tests and for small systems. A and b are destroyed.

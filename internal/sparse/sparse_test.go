@@ -231,3 +231,93 @@ func TestDensePermutationProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSolverReuseBitIdenticalToSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var s Solver
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(50)
+		m, _ := randomDiagDominant(rng, n, 3)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		// Same system through the one-shot path and the reused solver.
+		m2 := m.Clone()
+		b2 := append([]float64(nil), b...)
+		want, err := m.Solve(b)
+		if err != nil {
+			t.Fatalf("trial %d: solve: %v", trial, err)
+		}
+		got, err := s.Solve(m2, b2)
+		if err != nil {
+			t.Fatalf("trial %d: solver: %v", trial, err)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d (n=%d): x[%d] differs: one-shot %v vs reused solver %v",
+					trial, n, i, want[i], got[i])
+			}
+		}
+	}
+}
+
+func TestSolverScratchCleanAfterError(t *testing.T) {
+	var s Solver
+	// Singular system: leave a zero pivot at row 1.
+	bad := NewMatrix(2)
+	bad.Add(0, 0, 1)
+	if _, err := s.Solve(bad, []float64{1, 1}); err == nil {
+		t.Fatal("expected zero-pivot error")
+	}
+	// The same solver must still produce exact results afterwards.
+	m := NewMatrix(2)
+	m.Add(0, 0, 2)
+	m.Add(1, 1, 4)
+	x, err := s.Solve(m, []float64{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 1 || x[1] != 2 {
+		t.Fatalf("post-error solve: x = %v", x)
+	}
+}
+
+func TestMatrixReuseAndCopyFrom(t *testing.T) {
+	src := NewMatrix(3)
+	src.Add(0, 0, 2)
+	src.Add(1, 1, 3)
+	src.Add(2, 0, -1)
+	src.Add(2, 2, 5)
+
+	var m Matrix
+	m.CopyFrom(src)
+	if m.N != 3 || m.NNZ() != src.NNZ() {
+		t.Fatalf("CopyFrom: n=%d nnz=%d", m.N, m.NNZ())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != src.At(i, j) {
+				t.Fatalf("CopyFrom: (%d,%d) = %g want %g", i, j, m.At(i, j), src.At(i, j))
+			}
+		}
+	}
+	// Mutating the copy must not touch the source.
+	m.Add(0, 0, 1)
+	if src.At(0, 0) != 2 {
+		t.Fatalf("CopyFrom aliased source: src(0,0) = %g", src.At(0, 0))
+	}
+	// Shrink, then grow: contents reset to zero either way.
+	m.Reuse(2)
+	if m.N != 2 || m.NNZ() != 0 {
+		t.Fatalf("Reuse(2): n=%d nnz=%d", m.N, m.NNZ())
+	}
+	m.Reuse(5)
+	if m.N != 5 || m.NNZ() != 0 {
+		t.Fatalf("Reuse(5): n=%d nnz=%d", m.N, m.NNZ())
+	}
+	m.Add(4, 4, 1)
+	if m.At(4, 4) != 1 {
+		t.Fatalf("Reuse(5) then Add: %g", m.At(4, 4))
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"mpsram/internal/circuit"
+	"mpsram/internal/sparse"
 )
 
 // AdaptiveOptions tunes TransientAdaptive.
@@ -77,10 +78,17 @@ func (e *Engine) breakpoints(tEnd float64) []float64 {
 
 // beStep advances the state x at time t by h with one backward-Euler
 // solve (no trapezoidal state involved, which is what makes step-doubling
-// safe here).
+// safe here). The base matrix reuses the DC-stage scratch (the operating
+// point is long done by the time stepping starts); the result is detached
+// from the engine's Newton buffers because step-doubling holds three
+// solutions live at once.
 func (e *Engine) beStep(x []float64, t, h float64) ([]float64, error) {
-	m := e.static.Clone()
-	rhs := make([]float64, e.n)
+	if e.dcBase == nil {
+		e.dcBase = new(sparse.Matrix)
+	}
+	e.dcBase.CopyFrom(e.static)
+	m := e.dcBase
+	rhs := e.rhsBuf()
 	e.sourceRHS(rhs, t+h)
 	for _, c := range e.ckt.Cs {
 		g := c.C / h
@@ -88,7 +96,11 @@ func (e *Engine) beStep(x []float64, t, h float64) ([]float64, error) {
 		vPrev := vAt(x, c.A) - vAt(x, c.B)
 		rhsI(rhs, c.A, c.B, g*vPrev)
 	}
-	return e.newtonSolve(m, rhs, x)
+	sol, err := e.newtonSolve(m, rhs, x)
+	if err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), sol...), nil
 }
 
 // TransientAdaptive integrates from 0 to tEnd with backward Euler under
@@ -104,10 +116,17 @@ func (e *Engine) TransientAdaptive(tEnd float64, opt AdaptiveOptions, probes []c
 		return nil, fmt.Errorf("spice: inconsistent adaptive steps init=%g min=%g max=%g",
 			o.DtInit, o.DtMin, o.DtMax)
 	}
-	x, err := e.DCOperatingPoint()
+	xDC, err := e.DCOperatingPoint()
 	if err != nil {
 		return nil, err
 	}
+	// Detach the state from the engine's ping-pong Newton buffers: the
+	// step-doubling loop holds x live across three beStep solves, and a
+	// buffer-resident x would be silently overwritten by the third solve
+	// (its x0 is already a detached copy, so solutionBuf could hand back
+	// the buffer still holding x — corrupting the retry state of a
+	// rejected step).
+	x := append([]float64(nil), xDC...)
 	bps := e.breakpoints(tEnd)
 	res := &Result{Nodes: probes, V: make([][]float64, len(probes))}
 	record := func(t float64, x []float64) {

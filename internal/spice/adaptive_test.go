@@ -152,3 +152,64 @@ func TestAdaptiveMOSFETColumnAgreesWithFixed(t *testing.T) {
 		t.Fatalf("final values: fixed %g vs adaptive %g", fv[len(fv)-1], av[len(av)-1])
 	}
 }
+
+// TestAdaptiveRejectedFirstStepStateIntact is the regression for a
+// scratch-reuse aliasing bug: with the state still resident in a Newton
+// ping-pong buffer, the third solve of a step-doubling attempt could
+// overwrite it, so a rejected first step retried from a corrupted state.
+// A first-step rejection needs source movement inside the very first
+// attempt without an intervening breakpoint to clip the step, which only
+// a ramp starting at t = 0 provides (pulse corners all become
+// breakpoints): a PWL drive 1 V → 0 V over one tau, a large initial step
+// and a tight LTE bound force the immediate reject-and-retry.
+func TestAdaptiveRejectedFirstStepStateIntact(t *testing.T) {
+	r, c := 1e3, 1e-12
+	tau := r * c
+	n := circuit.New()
+	drv := n.Node("drv")
+	top := n.Node("top")
+	n.AddV("src", drv, circuit.Ground, circuit.PWL{T: []float64{0, tau}, V: []float64{1, 0}})
+	n.AddR("r", drv, top, r)
+	n.AddC("c", top, circuit.Ground, c)
+	e, err := New(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := AdaptiveOptions{DtInit: tau / 2, DtMax: tau / 2, DtMin: tau / 1e6, LTETol: 2e-6}
+	res, err := e.TransientAdaptive(tau, opt, []circuit.NodeID{top}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: the same circuit on a fine fixed-step backward-Euler
+	// grid (the adaptive integrator's own method, so the comparison is
+	// integration-error-only).
+	n2 := circuit.New()
+	drv2 := n2.Node("drv")
+	top2 := n2.Node("top")
+	n2.AddV("src", drv2, circuit.Ground, circuit.PWL{T: []float64{0, tau}, V: []float64{1, 0}})
+	n2.AddR("r", drv2, top2, r)
+	n2.AddC("c", top2, circuit.Ground, c)
+	eRef, err := New(n2, Options{Method: BackwardEuler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := eRef.Transient(tau, tau/4000, []circuit.NodeID{top2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw := ref.NodeWave(top2)
+	refAt := func(tm float64) float64 {
+		k := int(tm / (tau / 4000))
+		if k >= len(rw)-1 {
+			return rw[len(rw)-1]
+		}
+		f := tm/(tau/4000) - float64(k)
+		return rw[k]*(1-f) + rw[k+1]*f
+	}
+	wave := res.NodeWave(top)
+	for k, tm := range res.T {
+		if want := refAt(tm); math.Abs(wave[k]-want) > 0.005 {
+			t.Fatalf("t=%.3g: V=%.5f want %.5f (corrupted retry state?)", tm, wave[k], want)
+		}
+	}
+}

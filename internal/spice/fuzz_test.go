@@ -1,0 +1,85 @@
+package spice
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpsram/internal/circuit"
+	"mpsram/internal/device"
+	"mpsram/internal/tech"
+)
+
+// FuzzNetlistReset drives the engine-reuse contract with random
+// topology-stable parameter mutations: a netlist rebuilt in place
+// (circuit.Netlist.Reset) and re-targeted through spice.Engine.Reset must
+// produce transients bit-for-bit identical to a fresh New on an
+// identically built netlist. Any divergence means the scratch reuse leaked
+// state between runs.
+func FuzzNetlistReset(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(-7))
+	f.Add(int64(2015))
+	nm := device.NewNMOS(tech.N10().FEOL)
+
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		// One topology per seed, two parameter mutations on it: the
+		// resident engine runs the first, then Resets onto the second.
+		segs := 1 + rng.Intn(4)
+		draw := func() dischargeParams {
+			return dischargeParams{
+				segs: segs,
+				r:    50 * (1 + 3*rng.Float64()),
+				c:    1e-15 * (1 + 4*rng.Float64()),
+				w:    20e-9 * (1 + 2*rng.Float64()),
+				rpre: 1e6 * (1 + 9*rng.Float64()),
+			}
+		}
+		pA, pB := draw(), draw()
+		const tEnd, dt = 20e-12, 0.25e-12
+
+		run := func(e *Engine, nl *circuit.Netlist, probes []circuit.NodeID) (*Result, error) {
+			res, err := e.Transient(tEnd, dt, probes, nil)
+			if err != nil {
+				return nil, err
+			}
+			return snapshotResult(res), nil
+		}
+
+		// Reference: fresh netlist + fresh engine per mutation.
+		nlB := circuit.New()
+		probesB := buildDischarge(nlB, nm, pB)
+		freshB, err := New(nlB, Options{})
+		if err != nil {
+			t.Skipf("fresh New rejected circuit: %v", err)
+		}
+		want, wantErr := run(freshB, nlB, probesB)
+
+		// Reused path: one netlist object rebuilt in place, one engine
+		// re-targeted with Reset after simulating mutation A.
+		nl := circuit.New()
+		probesA := buildDischarge(nl, nm, pA)
+		resident, err := New(nl, Options{})
+		if err != nil {
+			t.Skipf("New rejected circuit A: %v", err)
+		}
+		if _, err := resident.Transient(tEnd, dt, probesA, nil); err != nil {
+			t.Skipf("transient A failed: %v", err)
+		}
+		nl.Reset()
+		probes := buildDischarge(nl, nm, pB)
+		if err := resident.Reset(nl, Options{}); err != nil {
+			t.Fatalf("Engine.Reset: %v", err)
+		}
+		got, gotErr := run(resident, nl, probes)
+
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("fresh err=%v, reused err=%v", wantErr, gotErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		requireIdenticalResults(t, "fuzz reset", want, got)
+	})
+}

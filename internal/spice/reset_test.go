@@ -1,0 +1,202 @@
+package spice
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mpsram/internal/circuit"
+	"mpsram/internal/device"
+	"mpsram/internal/tech"
+)
+
+// dischargeParams parameterizes the small pass-gate discharge circuit the
+// Reset tests mutate: an RC ladder precharged through a resistor and
+// discharged by an NMOS once its gate pulse fires.
+type dischargeParams struct {
+	segs int     // ladder segments (topology)
+	r    float64 // per-segment resistance
+	c    float64 // per-segment capacitance
+	w    float64 // NMOS width
+	rpre float64 // precharge holding resistor
+}
+
+// buildDischarge constructs the circuit into nl (which must be fresh or
+// Reset) and returns the probe nodes.
+func buildDischarge(nl *circuit.Netlist, nm *device.MOS, p dischargeParams) []circuit.NodeID {
+	pre := nl.Node("pre")
+	g := nl.Node("g")
+	nl.AddV("vpre", pre, circuit.Ground, circuit.DC(0.7))
+	nl.AddV("vg", g, circuit.Ground, circuit.Pulse{V0: 0, V1: 0.7, Delay: 1e-12, Rise: 0.2e-12, Width: 1})
+	nodes := make([]circuit.NodeID, p.segs+1)
+	for i := range nodes {
+		nodes[i] = nl.Node(fmt.Sprintf("n%d", i))
+	}
+	nl.AddR("rpre", pre, nodes[p.segs], p.rpre)
+	for i := 0; i < p.segs; i++ {
+		nl.AddR(fmt.Sprintf("r%d", i), nodes[i], nodes[i+1], p.r)
+	}
+	for i := range nodes {
+		nl.AddC(fmt.Sprintf("c%d", i), nodes[i], circuit.Ground, p.c)
+	}
+	nl.AddM("mn", nodes[0], g, circuit.Ground, nm, p.w)
+	return []circuit.NodeID{nodes[0], nodes[p.segs], g}
+}
+
+// snapshotResult deep-copies a Result's waveforms (engine-resident storage
+// is recycled by the next run).
+func snapshotResult(r *Result) *Result {
+	c := &Result{T: append([]float64(nil), r.T...), Nodes: append([]circuit.NodeID(nil), r.Nodes...)}
+	c.V = make([][]float64, len(r.V))
+	for i := range r.V {
+		c.V[i] = append([]float64(nil), r.V[i]...)
+	}
+	return c
+}
+
+func requireIdenticalResults(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if len(want.T) != len(got.T) {
+		t.Fatalf("%s: step count %d vs %d", label, len(want.T), len(got.T))
+	}
+	for k := range want.T {
+		if want.T[k] != got.T[k] {
+			t.Fatalf("%s: T[%d] %v vs %v", label, k, want.T[k], got.T[k])
+		}
+	}
+	for i := range want.V {
+		for k := range want.V[i] {
+			if want.V[i][k] != got.V[i][k] {
+				t.Fatalf("%s: V[%d][%d] %v vs %v (diff %g)",
+					label, i, k, want.V[i][k], got.V[i][k], want.V[i][k]-got.V[i][k])
+			}
+		}
+	}
+}
+
+// TestEngineResetMatchesFreshBitIdentical drives one engine through a
+// sequence of mutated netlists via Reset and requires every transient to
+// be bit-for-bit identical to a freshly constructed engine on the same
+// netlist — including topology changes (different ladder depth) that force
+// the scratch to resize.
+func TestEngineResetMatchesFreshBitIdentical(t *testing.T) {
+	nm := device.NewNMOS(tech.N10().FEOL)
+	rng := rand.New(rand.NewSource(7))
+	variants := make([]dischargeParams, 0, 8)
+	for _, segs := range []int{3, 3, 5, 2, 3} {
+		variants = append(variants, dischargeParams{
+			segs: segs,
+			r:    100 * (0.5 + rng.Float64()),
+			c:    2e-15 * (0.5 + rng.Float64()),
+			w:    30e-9 * (0.5 + rng.Float64()),
+			rpre: 10e6,
+		})
+	}
+	const tEnd, dt = 30e-12, 0.2e-12
+	resident := &Engine{}
+	nl := circuit.New()
+	for vi, p := range variants {
+		nl.Reset()
+		probes := buildDischarge(nl, nm, p)
+
+		fresh, err := New(nl, Options{})
+		if err != nil {
+			t.Fatalf("variant %d: New: %v", vi, err)
+		}
+		want, err := fresh.Transient(tEnd, dt, probes, nil)
+		if err != nil {
+			t.Fatalf("variant %d: fresh transient: %v", vi, err)
+		}
+		wantCopy := snapshotResult(want)
+
+		if err := resident.Reset(nl, Options{}); err != nil {
+			t.Fatalf("variant %d: Reset: %v", vi, err)
+		}
+		got, err := resident.Transient(tEnd, dt, probes, nil)
+		if err != nil {
+			t.Fatalf("variant %d: resident transient: %v", vi, err)
+		}
+		requireIdenticalResults(t, fmt.Sprintf("variant %d (segs=%d)", vi, p.segs), wantCopy, got)
+	}
+}
+
+// TestEngineResetMatchesFreshAdaptive covers the adaptive integrator path
+// on a reused engine.
+func TestEngineResetMatchesFreshAdaptive(t *testing.T) {
+	nm := device.NewNMOS(tech.N10().FEOL)
+	p1 := dischargeParams{segs: 3, r: 150, c: 3e-15, w: 30e-9, rpre: 10e6}
+	p2 := dischargeParams{segs: 3, r: 90, c: 5e-15, w: 40e-9, rpre: 10e6}
+	const tEnd = 40e-12
+	aopt := AdaptiveOptions{LTETol: 50e-6}
+
+	nl := circuit.New()
+	probes := buildDischarge(nl, nm, p2)
+	fresh, err := New(nl, Options{Method: BackwardEuler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.TransientAdaptive(tEnd, aopt, probes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run the resident engine on p1 first so its scratch is dirty, then
+	// Reset onto the p2 netlist.
+	other := circuit.New()
+	otherProbes := buildDischarge(other, nm, p1)
+	resident, err := New(other, Options{Method: BackwardEuler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resident.TransientAdaptive(tEnd, aopt, otherProbes, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := resident.Reset(nl, Options{Method: BackwardEuler}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := resident.TransientAdaptive(tEnd, aopt, probes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdenticalResults(t, "adaptive", want, got)
+}
+
+// TestEngineResetClearsNodeset: hints installed for one netlist must not
+// leak into the next (node ids are netlist-specific).
+func TestEngineResetClearsNodeset(t *testing.T) {
+	nm := device.NewNMOS(tech.N10().FEOL)
+	nl := circuit.New()
+	p := dischargeParams{segs: 2, r: 100, c: 2e-15, w: 30e-9, rpre: 10e6}
+	buildDischarge(nl, nm, p)
+	e, err := New(nl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetNodeset(map[circuit.NodeID]float64{nl.Node("n0"): 0.7})
+	if err := e.Reset(nl, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if e.nodeset != nil {
+		t.Fatal("Reset kept the previous netlist's nodeset hints")
+	}
+}
+
+// TestEngineResetRejectsBadNetlist: Reset validates like New and leaves
+// errors visible.
+func TestEngineResetRejectsBadNetlist(t *testing.T) {
+	nm := device.NewNMOS(tech.N10().FEOL)
+	nl := circuit.New()
+	buildDischarge(nl, nm, dischargeParams{segs: 2, r: 100, c: 2e-15, w: 30e-9, rpre: 10e6})
+	e, err := New(nl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Reset(circuit.New(), Options{}); err == nil {
+		t.Fatal("Reset accepted a netlist with no non-ground nodes")
+	}
+	bad := circuit.New()
+	bad.AddR("r", bad.Node("a"), circuit.Ground, -1)
+	if err := e.Reset(bad, Options{}); err == nil {
+		t.Fatal("Reset accepted an invalid netlist")
+	}
+}

@@ -64,7 +64,12 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Engine simulates one netlist.
+// Engine simulates one netlist. An Engine owns all the scratch a transient
+// needs — the sparse matrices, the Newton iteration buffers, the solver's
+// factorization scratch and the waveform storage — and Reset re-targets
+// the whole bundle at a mutated netlist without going back to the
+// allocator, which is what makes SPICE-in-the-loop Monte-Carlo affordable
+// (one resident Engine per worker instead of a New per trial).
 type Engine struct {
 	ckt  *circuit.Netlist
 	opts Options
@@ -84,6 +89,21 @@ type Engine struct {
 	// selects the intended solution basin in bistable circuits (SRAM
 	// cells have a metastable saddle Newton would otherwise find).
 	nodeset map[circuit.NodeID]float64
+
+	// Reusable scratch. work is the per-Newton-iteration matrix (refilled
+	// from the base by CopyFrom instead of Clone), dcBase the per-stage DC
+	// matrix, solver the factorization scratch, rhsStep/rhsIter the
+	// per-step and per-iteration right-hand sides, xA/xB the ping-pong
+	// Newton solution buffers, and resT/resV the waveform storage behind
+	// the Result of the fixed-step Transient.
+	work    *sparse.Matrix
+	dcBase  *sparse.Matrix
+	solver  sparse.Solver
+	rhsStep []float64
+	rhsIter []float64
+	xA, xB  []float64
+	resT    []float64
+	resV    [][]float64
 }
 
 // SetNodeset installs DC solution hints (see the nodeset field).
@@ -91,16 +111,52 @@ func (e *Engine) SetNodeset(hints map[circuit.NodeID]float64) { e.nodeset = hint
 
 // New builds an engine after validating the netlist.
 func New(ckt *circuit.Netlist, opts Options) (*Engine, error) {
-	if err := ckt.Validate(); err != nil {
+	e := &Engine{}
+	if err := e.Reset(ckt, opts); err != nil {
 		return nil, err
 	}
-	e := &Engine{ckt: ckt, opts: opts.withDefaults(), n: ckt.NumNodes() - 1}
-	if e.n <= 0 {
-		return nil, fmt.Errorf("spice: netlist has no non-ground nodes")
-	}
-	e.static = e.buildStatic(e.opts.Gmin)
-	e.capI = make([]float64, len(ckt.Cs))
 	return e, nil
+}
+
+// Reset re-targets the engine at netlist ckt under options opts, reusing
+// every internal allocation: the sparse matrix storage, the Newton and
+// right-hand-side scratch, the solver's factorization workspace and the
+// waveform buffers. The netlist may differ arbitrarily from the previous
+// one (parameter mutations, different size); when the topology is stable
+// the rebuild performs no heap allocation at all. Results are bit-for-bit
+// identical to a freshly constructed engine on the same netlist: Reset
+// only removes reallocation, never changes an arithmetic step.
+//
+// Reset clears any installed nodeset and invalidates Results returned by
+// earlier Transient calls on this engine (their waveform storage is
+// recycled).
+func (e *Engine) Reset(ckt *circuit.Netlist, opts Options) error {
+	if err := ckt.Validate(); err != nil {
+		return err
+	}
+	n := ckt.NumNodes() - 1
+	if n <= 0 {
+		return fmt.Errorf("spice: netlist has no non-ground nodes")
+	}
+	e.ckt = ckt
+	e.opts = opts.withDefaults()
+	e.n = n
+	if e.static == nil {
+		e.static = new(sparse.Matrix)
+	}
+	e.buildStaticInto(e.static, e.opts.Gmin)
+	// Invalidate the capacitor companion cache: NaN never compares equal
+	// to a valid dt, so the next Transient rebuilds it from the new
+	// element values.
+	e.capDt = math.NaN()
+	if cap(e.capI) >= len(ckt.Cs) {
+		e.capI = e.capI[:len(ckt.Cs)]
+	} else {
+		e.capI = make([]float64, len(ckt.Cs))
+	}
+	clear(e.capI)
+	e.nodeset = nil
+	return nil
 }
 
 // ix maps a node to its matrix index; ground is −1.
@@ -131,8 +187,10 @@ func rhsI(rhs []float64, a, b circuit.NodeID, i float64) {
 	}
 }
 
-func (e *Engine) buildStatic(gmin float64) *sparse.Matrix {
-	m := sparse.NewMatrix(e.n)
+// buildStaticInto assembles the time-invariant resistive stamps into m,
+// reusing its row storage.
+func (e *Engine) buildStaticInto(m *sparse.Matrix, gmin float64) {
+	m.Reuse(e.n)
 	for i := 0; i < e.n; i++ {
 		m.Add(i, i, gmin)
 	}
@@ -142,7 +200,6 @@ func (e *Engine) buildStatic(gmin float64) *sparse.Matrix {
 	for _, v := range e.ckt.Vs {
 		stampG(m, v.P, v.N, 1/v.RS)
 	}
-	return m
 }
 
 // buildCapBase caches static + capacitor companion conductances for dt.
@@ -150,7 +207,11 @@ func (e *Engine) buildCapBase(dt float64) {
 	if e.capBase != nil && e.capDt == dt {
 		return
 	}
-	m := e.static.Clone()
+	if e.capBase == nil {
+		e.capBase = new(sparse.Matrix)
+	}
+	e.capBase.CopyFrom(e.static)
+	m := e.capBase
 	k := 1.0
 	if e.opts.Method == Trapezoidal {
 		k = 2.0
@@ -158,8 +219,45 @@ func (e *Engine) buildCapBase(dt float64) {
 	for _, c := range e.ckt.Cs {
 		stampG(m, c.A, c.B, k*c.C/dt)
 	}
-	e.capBase = m
 	e.capDt = dt
+}
+
+// rhsBuf returns the per-step right-hand-side buffer, zeroed and sized to
+// the current unknown count.
+func (e *Engine) rhsBuf() []float64 {
+	if cap(e.rhsStep) >= e.n {
+		e.rhsStep = e.rhsStep[:e.n]
+	} else {
+		e.rhsStep = make([]float64, e.n)
+	}
+	clear(e.rhsStep)
+	return e.rhsStep
+}
+
+// solutionBuf returns one of the two ping-pong Newton solution buffers,
+// never the one aliasing avoid (the caller's x0 must survive a failed
+// solve, and the transient loop reads the previous step's solution after
+// the new one lands).
+func (e *Engine) solutionBuf(avoid []float64) []float64 {
+	// Cap-based reslice like the other scratch buffers, so Resets that
+	// bounce between netlist sizes (a multi-size Monte-Carlo trial) stay
+	// allocation-free; newtonSolve fully overwrites the buffer, and the
+	// identity check below survives reslicing (the base pointer does not
+	// move).
+	if cap(e.xA) >= e.n {
+		e.xA = e.xA[:e.n]
+	} else {
+		e.xA = make([]float64, e.n)
+	}
+	if cap(e.xB) >= e.n {
+		e.xB = e.xB[:e.n]
+	} else {
+		e.xB = make([]float64, e.n)
+	}
+	if len(avoid) > 0 && &avoid[0] == &e.xA[0] {
+		return e.xB
+	}
+	return e.xA
 }
 
 // sourceRHS adds the independent-source currents at time t.
@@ -182,13 +280,28 @@ func vAt(x []float64, id circuit.NodeID) float64 {
 
 // newtonSolve iterates the MOSFET linearization around x0 on top of the
 // prepared base matrix/rhs until convergence. base must include all linear
-// stamps; rhsBase all linear source terms. Returns the converged solution.
+// stamps; rhsBase all linear source terms. Returns the converged solution,
+// which lives in one of the engine's two ping-pong buffers (never the one
+// holding x0) and stays valid until the buffer's next reuse — callers
+// consume it before the second-following newtonSolve call. x0 is left
+// untouched on failure.
 func (e *Engine) newtonSolve(base *sparse.Matrix, rhsBase []float64, x0 []float64) ([]float64, error) {
-	x := append([]float64(nil), x0...)
+	x := e.solutionBuf(x0)
+	copy(x, x0)
+	if e.work == nil {
+		e.work = new(sparse.Matrix)
+	}
+	if cap(e.rhsIter) >= e.n {
+		e.rhsIter = e.rhsIter[:e.n]
+	} else {
+		e.rhsIter = make([]float64, e.n)
+	}
 	o := e.opts
 	for iter := 0; iter < o.MaxNewton; iter++ {
-		m := base.Clone()
-		rhs := append([]float64(nil), rhsBase...)
+		e.work.CopyFrom(base)
+		m := e.work
+		rhs := e.rhsIter
+		copy(rhs, rhsBase)
 		for _, mos := range e.ckt.Ms {
 			vgs := vAt(x, mos.G) - vAt(x, mos.S)
 			vds := vAt(x, mos.D) - vAt(x, mos.S)
@@ -215,7 +328,7 @@ func (e *Engine) newtonSolve(base *sparse.Matrix, rhsBase []float64, x0 []float6
 				rhs[iS] += ieq
 			}
 		}
-		xNew, err := m.Solve(rhs)
+		xNew, err := e.solver.Solve(m, rhs)
 		if err != nil {
 			return nil, fmt.Errorf("spice: newton iteration %d: %w", iter, err)
 		}
@@ -245,6 +358,11 @@ func (e *Engine) newtonSolve(base *sparse.Matrix, rhsBase []float64, x0 []float6
 // DCOperatingPoint solves the bias point at t = 0 with capacitors open,
 // using gmin stepping for robustness: the ground-shunt conductance starts
 // large and is relaxed geometrically to the target.
+//
+// The returned slice lives in one of the engine's reusable Newton
+// buffers and is overwritten by the next DCOperatingPoint, Transient or
+// TransientAdaptive call on this engine; callers comparing bias points
+// across runs must copy it first.
 func (e *Engine) DCOperatingPoint() ([]float64, error) {
 	x := make([]float64, e.n)
 	for id, v := range e.nodeset {
@@ -254,9 +372,13 @@ func (e *Engine) DCOperatingPoint() ([]float64, error) {
 	}
 	var lastErr error
 	stages := []float64{1e-3, 1e-5, 1e-7, 1e-9, e.opts.Gmin}
+	if e.dcBase == nil {
+		e.dcBase = new(sparse.Matrix)
+	}
 	for si, gmin := range stages {
-		base := e.buildStatic(gmin)
-		rhs := make([]float64, e.n)
+		e.buildStaticInto(e.dcBase, gmin)
+		base := e.dcBase
+		rhs := e.rhsBuf()
 		e.sourceRHS(rhs, 0)
 		if si < len(stages)-1 {
 			// Hold nodeset hints with a 1 mS tie during the damped
@@ -329,6 +451,11 @@ type StopFunc func(t float64, v func(circuit.NodeID) float64) bool
 // Transient integrates from 0 to tEnd with fixed step dt, starting from
 // the DC operating point, probing the given nodes each step. If stop is
 // non-nil the run ends once it returns true (after recording that step).
+//
+// The returned Result's waveform storage belongs to the engine and is
+// recycled by the next Transient or Reset call on this engine; callers
+// that keep an engine resident across runs must extract what they need
+// (crossings, measurements, copies) before reusing the engine.
 func (e *Engine) Transient(tEnd, dt float64, probes []circuit.NodeID, stop StopFunc) (*Result, error) {
 	if dt <= 0 || tEnd <= 0 || tEnd < dt {
 		return nil, fmt.Errorf("spice: bad transient window tEnd=%g dt=%g", tEnd, dt)
@@ -344,8 +471,25 @@ func (e *Engine) Transient(tEnd, dt float64, probes []circuit.NodeID, stop StopF
 	}
 	steps := int(math.Ceil(tEnd/dt)) + 1
 	res := &Result{Nodes: probes}
-	res.T = make([]float64, 0, steps)
-	res.V = make([][]float64, len(probes))
+	if cap(e.resT) < steps {
+		e.resT = make([]float64, 0, steps)
+	}
+	res.T = e.resT[:0]
+	if cap(e.resV) >= len(probes) {
+		e.resV = e.resV[:len(probes)]
+	} else {
+		old := e.resV
+		e.resV = make([][]float64, len(probes))
+		copy(e.resV, old)
+	}
+	res.V = e.resV
+	for i := range res.V {
+		if cap(res.V[i]) < steps {
+			res.V[i] = make([]float64, 0, steps)
+		} else {
+			res.V[i] = res.V[i][:0]
+		}
+	}
 	record := func(t float64, x []float64) {
 		res.T = append(res.T, t)
 		for i, p := range probes {
@@ -359,7 +503,7 @@ func (e *Engine) Transient(tEnd, dt float64, probes []circuit.NodeID, stop StopF
 		k = 2.0
 	}
 	for t := dt; t <= tEnd+dt/2; t += dt {
-		rhs := make([]float64, e.n)
+		rhs := e.rhsBuf()
 		e.sourceRHS(rhs, t)
 		// Capacitor companion currents from the previous state.
 		for ci, c := range e.ckt.Cs {
@@ -388,5 +532,7 @@ func (e *Engine) Transient(tEnd, dt float64, probes []circuit.NodeID, stop StopF
 			break
 		}
 	}
+	// Retain grown waveform storage for the next run on this engine.
+	e.resT = res.T
 	return res, nil
 }

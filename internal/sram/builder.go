@@ -7,6 +7,7 @@ import (
 	"mpsram/internal/device"
 	"mpsram/internal/extract"
 	"mpsram/internal/litho"
+	"mpsram/internal/spice"
 	"mpsram/internal/tech"
 )
 
@@ -40,6 +41,11 @@ type ColumnBuilder struct {
 	// scratch is the reused netlist; the Column returned by Build aliases
 	// it and stays valid only until the next Build call.
 	scratch *circuit.Netlist
+
+	// eng is the resident SPICE engine, re-targeted with
+	// spice.Engine.Reset on every MeasureTd so the sparse matrices, the
+	// Newton scratch and the waveform storage survive across trials.
+	eng *spice.Engine
 }
 
 type ratioKey struct {
@@ -105,13 +111,25 @@ func (b *ColumnBuilder) Build(n int, cp CellParasitics, opt BuildOptions) (*Colu
 }
 
 // MeasureTd builds the column for parasitics cp at size n and runs the
-// read transient, returning td in seconds.
+// read transient on the session's resident engine, returning td in
+// seconds. The first call constructs the engine; later calls re-target it
+// with spice.Engine.Reset, which reuses every internal allocation and is
+// bit-identical to a fresh engine.
 func (b *ColumnBuilder) MeasureTd(n int, cp CellParasitics, bopt BuildOptions, sopt SimOptions) (float64, error) {
 	col, err := b.Build(n, cp, bopt)
 	if err != nil {
 		return 0, err
 	}
-	res, err := col.MeasureTd(cp, sopt)
+	opts := spice.Options{Method: sopt.Method}
+	if b.eng == nil {
+		b.eng, err = spice.New(col.Netlist, opts)
+	} else {
+		err = b.eng.Reset(col.Netlist, opts)
+	}
+	if err != nil {
+		return 0, err
+	}
+	res, err := col.measureTdOn(b.eng, cp, sopt)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,79 @@
+// SPICE-in-the-loop Monte-Carlo support: the per-worker trial function
+// behind mc.SpiceTdpAcrossSizes. Where the analytic Monte-Carlo evaluates
+// the paper's closed-form tdp formula on each process-variation draw, this
+// path realizes the drawn lithography sample into perturbed parasitics and
+// runs the full read transient per array size — the experiment the paper's
+// Tables II–IV actually rest on. The ColumnBuilder session keeps the cost
+// per trial sane: one reusable netlist scratch and one resident SPICE
+// engine (re-targeted with spice.Engine.Reset) per worker, so the hot loop
+// performs no per-trial engine construction.
+package sram
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpsram/internal/extract"
+	"mpsram/internal/litho"
+)
+
+// NominalTds simulates the nominal read at every size, the denominators of
+// the per-trial tdp observables. Deterministic — callers compute it once
+// and share it read-only across workers.
+func (b *ColumnBuilder) NominalTds(sizes []int, bopt BuildOptions, sopt SimOptions) ([]float64, error) {
+	nom, err := b.Nominal()
+	if err != nil {
+		return nil, err
+	}
+	tds := make([]float64, len(sizes))
+	for j, n := range sizes {
+		td, err := b.MeasureTd(n, nom, bopt, sopt)
+		if err != nil {
+			return nil, fmt.Errorf("sram: nominal td at n=%d: %w", n, err)
+		}
+		if td <= 0 {
+			return nil, fmt.Errorf("sram: non-positive nominal td %g at n=%d", td, n)
+		}
+		tds[j] = td
+	}
+	return tds, nil
+}
+
+// TrialFunc returns the SPICE-in-the-loop Monte-Carlo trial function for
+// option o: each invocation draws one Gaussian lithography sample from
+// rng (litho.Draw — the same canonical stream the analytic
+// mc.SampleRatios consumes, so the two paths see identical draws),
+// extracts the variability ratios, and simulates the read at every size,
+// writing the tdp penalty in percent into out[j] for sizes[j]. Draws whose
+// geometry collapses (extraction error) or whose transient fails reject
+// the trial by returning false.
+//
+// nomTd must hold the nominal read times for sizes (see NominalTds). The
+// returned closure drives this builder's netlist scratch and resident
+// engine, so it inherits the session's concurrency contract: one builder
+// per worker.
+func (b *ColumnBuilder) TrialFunc(o litho.Option, sizes []int, nomTd []float64, bopt BuildOptions, sopt SimOptions) func(*rand.Rand, []float64) bool {
+	params := litho.Params(b.Proc, o)
+	return func(rng *rand.Rand, out []float64) bool {
+		s := litho.Draw(params, rng)
+		// VarRatios directly, not the session memo: continuous random
+		// samples never repeat, so memoizing them would only grow the map.
+		r, err := extract.VarRatios(b.Proc, o, s, b.Cap)
+		if err != nil {
+			return false
+		}
+		nom, err := b.Nominal()
+		if err != nil {
+			return false
+		}
+		cp := nom.Scale(r)
+		for j, n := range sizes {
+			td, err := b.MeasureTd(n, cp, bopt, sopt)
+			if err != nil {
+				return false
+			}
+			out[j] = (td/nomTd[j] - 1) * 100
+		}
+		return true
+	}
+}

@@ -299,8 +299,21 @@ type ReadResult struct {
 
 // MeasureTd runs the read transient and extracts td: the time from the
 // word-line-enable instant until |Vbl − Vblb| at the sense end reaches
-// the sense-amplifier sensitivity.
+// the sense-amplifier sensitivity. It constructs a fresh engine per call;
+// hot loops should hold a ColumnBuilder, whose resident engine is
+// re-targeted with spice.Engine.Reset instead.
 func (c *Column) MeasureTd(cp CellParasitics, opt SimOptions) (ReadResult, error) {
+	eng, err := spice.New(c.Netlist, spice.Options{Method: opt.Method})
+	if err != nil {
+		return ReadResult{}, err
+	}
+	return c.measureTdOn(eng, cp, opt)
+}
+
+// measureTdOn is MeasureTd on a caller-supplied engine already targeted at
+// c.Netlist — the reuse hook behind ColumnBuilder's resident engine. The
+// returned ReadResult's waveforms alias the engine's recycled storage.
+func (c *Column) measureTdOn(eng *spice.Engine, cp CellParasitics, opt SimOptions) (ReadResult, error) {
 	f := c.proc.FEOL
 	est := c.estimateTd(cp)
 	tEnd := opt.TEnd
@@ -314,10 +327,6 @@ func (c *Column) MeasureTd(cp CellParasitics, opt SimOptions) (ReadResult, error
 			dt = 0.5e-12
 		}
 	}
-	eng, err := spice.New(c.Netlist, spice.Options{Method: opt.Method})
-	if err != nil {
-		return ReadResult{}, err
-	}
 	// Seed the bistable cell in the q=0 state (read discharges bl).
 	eng.SetNodeset(map[circuit.NodeID]float64{
 		c.Q:  0,
@@ -328,7 +337,10 @@ func (c *Column) MeasureTd(cp CellParasitics, opt SimOptions) (ReadResult, error
 	stopAt := func(t float64, v func(circuit.NodeID) float64) bool {
 		return v(c.BLBSense)-v(c.BLSense) >= 1.5*target
 	}
-	var res *spice.Result
+	var (
+		res *spice.Result
+		err error
+	)
 	if opt.Adaptive {
 		res, err = eng.TransientAdaptive(tEnd, spice.AdaptiveOptions{LTETol: 50e-6}, probes, stopAt)
 	} else {
