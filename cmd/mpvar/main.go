@@ -7,7 +7,9 @@
 //	mpvar [flags] <experiment>
 //
 // where <experiment> is one of: table1 table2 table3 table4 fig2 fig3
-// fig4 fig5 all gds deck.
+// fig4 fig5 all gds deck — plus the multi-node workloads nodes and
+// processes. The global -process flag selects the technology preset
+// (N10 default; N7/N5 derived) for every single-node experiment.
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 
 	"mpsram/internal/analytic"
@@ -46,6 +49,9 @@ experiments:
            transient per draw and size at -n; every sample costs a
            transient, so -samples defaults to 200 here instead of 10000)
   all      every experiment in paper order
+  nodes    cross-node comparison: Table-IV-style tdp sigma across the
+           process registry (N10/N7/N5) at -n word lines
+  processes  list the technology registry (valid -process values)
   snm      static noise margins (hold/read butterfly)
   ext      extension studies: LE2 option, thickness source, write penalty
   sens     first-order tdp variance propagation per option
@@ -60,8 +66,10 @@ flags:
 func main() {
 	samples := flag.Int("samples", 10000, "Monte-Carlo sample count")
 	seed := flag.Int64("seed", 2015, "Monte-Carlo seed")
+	process := flag.String("process", "N10", "technology preset; run 'mpvar processes' for the registry")
+	fastSeed := flag.Bool("fastseed", false, "use the splittable PCG64 Monte-Carlo stream (cheaper reseed; changes sampled values — see EXPERIMENTS.md)")
 	ol := flag.Float64("ol", 8, "LE3 overlay 3-sigma budget in nm")
-	n := flag.Int("n", 64, "array word-line count for deck/fig5")
+	n := flag.Int("n", 64, "array word-line count for deck/fig5/mcspice/nodes")
 	lumped := flag.Bool("lumped", false, "use the lumped bit-line ablation")
 	workers := flag.Int("workers", 0, "worker count for Monte-Carlo and SPICE sweeps (0 = all CPUs)")
 	progress := flag.Bool("progress", false, "report Monte-Carlo and SPICE sweep progress on stderr")
@@ -100,12 +108,23 @@ func main() {
 		stop()
 	}()
 
+	// Resolve the technology preset first: an unknown -process answers
+	// with the registry's valid names, not a bare failure.
+	proc, err := core.LookupProcess(*process)
+	if err != nil {
+		fatal(err)
+	}
 	opts := []core.Option{
-		core.WithOverlay(*ol * 1e-9),
-		core.WithMC(mc.Config{Samples: *samples, Seed: *seed}),
+		core.WithProcess(proc),
+		core.WithMC(mc.Config{Samples: *samples, Seed: *seed, FastReseed: *fastSeed}),
 		core.WithBuild(sram.BuildOptions{Lumped: *lumped}),
 		core.WithContext(ctx),
 		core.WithWorkers(*workers),
+	}
+	// The -ol default (8 nm) equals the N10 preset; only an explicit -ol
+	// overrides a derived node's own scaled overlay budget.
+	if flagsSeen["ol"] || proc.Name == "N10" {
+		opts = append(opts, core.WithOverlay(*ol*1e-9))
 	}
 	if *progress {
 		opts = append(opts, core.WithProgress(progressPrinter()))
@@ -141,7 +160,10 @@ func main() {
 		check(err)
 		emit(exp.FormatTable3(rows), exp.Table3Report(rows))
 	case "fig5":
-		res, err := exp.Fig5(study.Env, *ol*1e-9, *n)
+		// The effective overlay budget already folds in the gated -ol
+		// override, so a derived node's scaled budget is honoured here
+		// exactly as in the worst-case experiments.
+		res, err := exp.Fig5(study.Env, study.Env.Proc.Var.OL3Sigma, *n)
 		check(err)
 		emit(exp.FormatFig5(res), exp.Fig5Report(res))
 	case "table4":
@@ -161,11 +183,17 @@ func main() {
 		rows, err := study.SpiceMC([]int{*n})
 		check(err)
 		emit(exp.FormatSpiceMC(rows, study.Env.MC.Samples), exp.SpiceMCReport(rows))
+	case "nodes":
+		rows, err := study.NodesAt(*n)
+		check(err)
+		emit(exp.FormatNodes(rows, *n), exp.NodesReport(rows, *n))
+	case "processes":
+		emit(formatProcesses(), processesReport())
 	case "snm":
 		res, err := sram.StaticNoiseMargins(study.Env.Proc)
 		check(err)
-		fmt.Printf("static noise margins (N10, %.1f V):\n  hold: %.3f V\n  read: %.3f V\n",
-			study.Env.Proc.FEOL.Vdd, res.Hold, res.Read)
+		fmt.Printf("static noise margins (%s, %.1f V):\n  hold: %.3f V\n  read: %.3f V\n",
+			study.Env.Proc.Name, study.Env.Proc.FEOL.Vdd, res.Hold, res.Read)
 	case "sens":
 		m, err := study.Model()
 		check(err)
@@ -190,7 +218,7 @@ func main() {
 	case "all":
 		check(study.RunAll(os.Stdout))
 	case "gds":
-		cell := layout.SRAM6TCell(tech.N10())
+		cell := layout.SRAM6TCell(study.Env.Proc)
 		check(cell.WriteGDSText(os.Stdout))
 	case "deck":
 		p := study.Env.Proc
@@ -200,9 +228,36 @@ func main() {
 		check(err)
 		fmt.Print(col.Netlist.WriteSpice(fmt.Sprintf("sram column n=%d (%s)", *n, litho.EUV)))
 	default:
+		fmt.Fprintf(os.Stderr, "mpvar: unknown experiment %q\n\n", flag.Arg(0))
 		usage()
 		os.Exit(2)
 	}
+}
+
+// formatProcesses renders the technology registry as text.
+func formatProcesses() string {
+	var b strings.Builder
+	b.WriteString("technology registry (-process values):\n")
+	fmt.Fprintf(&b, "%-6s %10s %10s %10s %10s %12s\n",
+		"name", "pitch", "width", "CD 3σ", "OL 3σ", "rho")
+	for _, p := range tech.Default().Processes() {
+		fmt.Fprintf(&b, "%-6s %8.1fnm %8.1fnm %8.2fnm %8.2fnm %9.2e Ωm\n",
+			p.Name, p.M1.Pitch*1e9, p.M1.Width*1e9,
+			p.Var.CD3Sigma*1e9, p.Var.OL3Sigma*1e9, p.M1.Rho)
+	}
+	return b.String()
+}
+
+// processesReport converts the registry listing for csv/md output.
+func processesReport() *report.Table {
+	t := report.New("Technology registry",
+		"name", "m1_pitch_nm", "m1_width_nm", "m1_thickness_nm",
+		"cd3sigma_nm", "spacer3sigma_nm", "ol3sigma_nm", "rho_ohm_m")
+	for _, p := range tech.Default().Processes() {
+		_ = t.Appendf(p.Name, p.M1.Pitch*1e9, p.M1.Width*1e9, p.M1.Thickness*1e9,
+			p.Var.CD3Sigma*1e9, p.Var.Spacer3Sigma*1e9, p.Var.OL3Sigma*1e9, p.M1.Rho)
+	}
+	return t
 }
 
 // progressPrinter returns a concurrency-safe progress callback shared by

@@ -4,7 +4,10 @@
 //	Variability on SRAMs", DATE 2015, pp. 609–612.
 //
 // The implementation lives under internal/: technology description
-// (tech), patterning engines (litho), parasitic extraction (extract) with
+// (tech) — a process registry whose N7- and N5-class presets are derived
+// from the calibrated N10 node by a validated shrink (tech.Derive), so
+// the process is a first-class sweep axis — patterning engines (litho),
+// parasitic extraction (extract) with
 // a finite-difference field-solver reference (field), a nodal SPICE engine
 // (circuit, device, sparse, spice), the SRAM column builder with its
 // reusable build/simulate sessions (sram), the sharded SPICE sweep engine
@@ -23,6 +26,18 @@
 // views over one shared sweep (16 unique transients instead of the 52 a
 // serial reproduction issues); Fig. 5 and Table IV are views over shared
 // Monte-Carlo streams.
+//
+// The process axis threads through both engines: sweep.Plan points and
+// Monte-Carlo streams key on (process, option, …), a single cross-process
+// plan replaces N serial per-process runs (nominal transients dedupe per
+// (process, n) across options), and the exp layer adds the cross-node
+// workloads — exp.Nodes, the Table-IV-style σ comparison across
+// N10/N7/N5 (`mpvar nodes`), and per-process extended Table IV surfaces.
+// N10 results are bit-identical to the single-node engine they grew out
+// of. Per-trial reseeding has an opt-in fast path (mc.Config.FastReseed,
+// a splittable PCG64 stream, ~1000× cheaper than the legacy
+// lagged-Fibonacci reseed) that changes the sample stream and therefore
+// requires re-baselining; the default stream stays bit-exact.
 //
 // The two engines also compose: mc.SpiceTdpAcrossSizes hosts a full read
 // transient inside every Monte-Carlo trial (SPICE-in-the-loop), with each

@@ -35,8 +35,25 @@ type Study struct {
 // Option customizes a Study.
 type Option func(*exp.Env)
 
-// WithProcess replaces the technology preset.
+// WithProcess replaces the primary technology preset.
 func WithProcess(p tech.Process) Option { return func(e *exp.Env) { e.Proc = p } }
+
+// WithProcesses replaces the node comparison set of the cross-process
+// experiments (Nodes, SigmaSurfaces). The default set is the full
+// registry: N10, N7, N5.
+func WithProcesses(procs ...tech.Process) Option {
+	return func(e *exp.Env) { e.Procs = append([]tech.Process(nil), procs...) }
+}
+
+// LookupProcess resolves a preset name against the default registry. An
+// unknown name returns an error listing the valid names — CLIs should
+// surface it verbatim.
+func LookupProcess(name string) (tech.Process, error) {
+	return tech.Default().Lookup(name)
+}
+
+// ProcessNames returns the default registry's preset names in order.
+func ProcessNames() []string { return tech.Default().Names() }
 
 // WithCapModel selects the capacitance model (default Sakurai–Tamaru).
 func WithCapModel(cm extract.CapModel) Option { return func(e *exp.Env) { e.Cap = cm } }
@@ -85,7 +102,8 @@ func WithWorkers(n int) Option {
 	}
 }
 
-// NewStudy builds a study on the N10 preset with the paper's defaults.
+// NewStudy builds a study on the N10 preset with the paper's defaults
+// and the full node registry as the cross-process comparison set.
 func NewStudy(opts ...Option) (*Study, error) {
 	env := exp.DefaultEnv()
 	for _, o := range opts {
@@ -93,6 +111,11 @@ func NewStudy(opts ...Option) (*Study, error) {
 	}
 	if err := env.Proc.Validate(); err != nil {
 		return nil, err
+	}
+	for _, p := range env.Procs {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	if env.Cap == nil {
 		return nil, fmt.Errorf("core: nil capacitance model")
@@ -138,6 +161,17 @@ func (s *Study) SigmaTable() ([]mc.SigmaSweepRow, error) { return exp.Table4(s.E
 // SigmaSurface runs the extended Table IV: tdp σ per option and overlay
 // budget at every DOE array size, one shared sample stream per option.
 func (s *Study) SigmaSurface() ([]mc.SigmaSurfaceRow, error) { return exp.Table4Surface(s.Env) }
+
+// SigmaSurfaces runs the extended Table IV on every process of the
+// study's node set: one σ surface per node.
+func (s *Study) SigmaSurfaces() ([]mc.ProcessSurface, error) { return exp.Table4Surfaces(s.Env) }
+
+// Nodes runs the cross-node σ comparison (Table IV layout with the
+// process as the horizontal axis) at the paper's n = 64.
+func (s *Study) Nodes() ([]exp.NodesRow, error) { return exp.Nodes(s.Env) }
+
+// NodesAt is Nodes at an explicit array size.
+func (s *Study) NodesAt(n int) ([]exp.NodesRow, error) { return exp.NodesAt(s.Env, n) }
 
 // SpiceMC runs the SPICE-in-the-loop Monte-Carlo at the given array
 // sizes: one full read transient per draw and size, on per-worker

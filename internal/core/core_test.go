@@ -234,3 +234,52 @@ func TestWithWorkersAndProgressReachBothEngines(t *testing.T) {
 		t.Fatal("sweep progress never fired")
 	}
 }
+
+// TestProcessRegistryThroughFacade covers the process-axis surface of the
+// facade: name lookup (including the valid-names error contract), the
+// default node set, per-node study construction and the cross-node
+// comparison.
+func TestProcessRegistryThroughFacade(t *testing.T) {
+	if got := ProcessNames(); len(got) != 3 || got[0] != "N10" {
+		t.Fatalf("process names %v", got)
+	}
+	p, err := LookupProcess("N7")
+	if err != nil || p.Name != "N7" {
+		t.Fatalf("LookupProcess(N7): %v %v", p.Name, err)
+	}
+	if _, err := LookupProcess("N3"); err == nil || !strings.Contains(err.Error(), "N10") {
+		t.Fatalf("unknown process error must list valid names, got %v", err)
+	}
+	s, err := NewStudy(WithProcess(p), WithMC(mc.Config{Samples: 400, Seed: 7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Env.Proc.Name != "N7" || len(s.Env.Procs) != 3 {
+		t.Fatalf("env: proc %s, %d nodes", s.Env.Proc.Name, len(s.Env.Procs))
+	}
+	rows, err := s.NodesAt(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*6 {
+		t.Fatalf("%d node rows", len(rows))
+	}
+	// Trimming the node set trims the comparison.
+	s2, err := NewStudy(WithProcesses(p), WithMC(mc.Config{Samples: 400, Seed: 7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows2, err := s2.NodesAt(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows2) != 6 || rows2[0].Process != "N7" {
+		t.Fatalf("trimmed node set: %d rows, first %q", len(rows2), rows2[0].Process)
+	}
+	// An invalid preset in the node set fails construction.
+	bad := p
+	bad.M1.Width = -1
+	if _, err := NewStudy(WithProcesses(bad)); err == nil {
+		t.Fatal("invalid node-set preset must fail NewStudy")
+	}
+}

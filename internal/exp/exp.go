@@ -11,6 +11,11 @@
 //	Table III— formula vs simulation tdp at the worst cases
 //	Fig. 5   — Monte-Carlo tdp distribution
 //	Table IV — tdp σ per option and overlay budget
+//
+// Beyond the paper, the process axis adds the cross-node workloads of
+// nodes.go: the Table-IV-style σ comparison across the technology
+// registry (Nodes) and per-process extended Table IV surfaces
+// (Table4Surfaces).
 package exp
 
 import (
@@ -42,8 +47,13 @@ var PaperOLBudgets = []float64{3e-9, 5e-9, 7e-9, 8e-9}
 
 // Env bundles the shared experiment inputs.
 type Env struct {
+	// Proc is the primary process: every single-node experiment (the
+	// paper's tables and figures) runs on it.
 	Proc tech.Process
-	Cap  extract.CapModel
+	// Procs is the node comparison set of the cross-process experiments
+	// (Nodes, Table4Surfaces). Empty means {Proc}.
+	Procs []tech.Process
+	Cap   extract.CapModel
 	// MC controls the Monte-Carlo experiments.
 	MC mc.Config
 	// Sweep controls the sharded SPICE sweep engine behind Fig. 4 and
@@ -66,12 +76,15 @@ func (e Env) ctx() context.Context {
 	return context.Background()
 }
 
-// DefaultEnv returns the paper's configuration on the N10 preset.
+// DefaultEnv returns the paper's configuration: the N10 preset as the
+// primary process, with the full registry (N10/N7/N5) as the node
+// comparison set of the cross-process experiments.
 func DefaultEnv() Env {
 	return Env{
-		Proc: tech.N10(),
-		Cap:  extract.SakuraiTamaru{},
-		MC:   mc.Config{Samples: 10000, Seed: 2015},
+		Proc:  tech.N10(),
+		Procs: tech.Default().Processes(),
+		Cap:   extract.SakuraiTamaru{},
+		MC:    mc.Config{Samples: 10000, Seed: 2015},
 	}
 }
 

@@ -86,6 +86,34 @@ func TestGoldenTable4Surface(t *testing.T) {
 	checkGolden(t, "table4surface.csv", Table4SurfaceReport(rows))
 }
 
+// TestGoldenNodes snapshots the cross-node σ comparison: every float
+// crosses the registry (derived N7/N5 presets), the per-node analytic
+// models and the shared Monte-Carlo streams.
+func TestGoldenNodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-node Monte-Carlo in -short mode")
+	}
+	rows, err := Nodes(goldenEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "nodes.csv", NodesReport(rows, NodesN))
+}
+
+// TestGoldenTable4SurfacesPerProcess snapshots the per-process extended
+// Table IV (the N10 block doubles as a cross-check against
+// table4surface.csv: same numbers, prefixed by the process column).
+func TestGoldenTable4SurfacesPerProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three-node Monte-Carlo surface in -short mode")
+	}
+	surfs, err := Table4Surfaces(goldenEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table4surfaces.csv", Table4SurfacesReport(surfs))
+}
+
 // TestGoldenSpiceMC snapshots the SPICE-in-the-loop Monte-Carlo at a
 // minimal budget — the one table whose every float crosses the resident
 // engine Reset path.

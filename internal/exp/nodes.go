@@ -1,0 +1,202 @@
+// The cross-node comparison: the paper's Table IV σ study repeated on
+// every process of the environment's node set (N10 plus the derived N7-
+// and N5-class presets) and laid side by side. Not a table of the paper —
+// the paper pins one imec-N10-flavoured node — but the study its
+// conclusion asks for: how the per-option variability ranking and the
+// absolute σ budgets move as the metal pitch shrinks faster than the
+// litho control tightens.
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+
+	"mpsram/internal/litho"
+	"mpsram/internal/mc"
+	"mpsram/internal/report"
+	"mpsram/internal/tech"
+)
+
+// NodesN is the array size of the cross-node comparison (the paper's
+// Table IV size).
+const NodesN = 64
+
+// NodesRow is one (process, option/overlay) cell of the cross-node σ
+// comparison.
+type NodesRow struct {
+	Process string
+	Option  litho.Option
+	OL      float64 // LE3 overlay 3σ budget (0 for SADP/EUV)
+	Sigma   float64 // std of tdp in percentage points
+	Mean    float64
+}
+
+// processes returns the environment's node set, defaulting to the single
+// primary process when no set is configured.
+func (e Env) processes() []tech.Process {
+	if len(e.Procs) > 0 {
+		return e.Procs
+	}
+	return []tech.Process{e.Proc}
+}
+
+// processCases derives the analytical model per node — each process has
+// its own nominal parasitics and therefore its own formula parameters.
+func (e Env) processCases() ([]mc.ProcessCase, error) {
+	procs := e.processes()
+	cases := make([]mc.ProcessCase, 0, len(procs))
+	for _, p := range procs {
+		env := e
+		env.Proc = p
+		m, err := env.Model()
+		if err != nil {
+			return nil, fmt.Errorf("model %s: %w", p.Name, err)
+		}
+		cases = append(cases, mc.ProcessCase{Proc: p, Model: m})
+	}
+	return cases, nil
+}
+
+// Nodes runs the Table-IV-style σ comparison across the environment's
+// node set at the paper's n = 64: per node, the tdp σ for LE3 at every
+// overlay budget plus SADP and EUV. Every node consumes its own
+// deterministic sample stream (same (Seed, trial) deviates, scaled by the
+// node's variation budgets), so the cross-node deltas are attributable to
+// the process.
+func Nodes(e Env) ([]NodesRow, error) {
+	return NodesAt(e, NodesN)
+}
+
+// NodesAt is Nodes at an explicit array size.
+func NodesAt(e Env, n int) ([]NodesRow, error) {
+	cases, err := e.processCases()
+	if err != nil {
+		return nil, fmt.Errorf("nodes: %w", err)
+	}
+	surfs, err := mc.SigmaSurfaceAcross(e.ctx(), cases, e.Cap, []int{n}, PaperOLBudgets, e.MC)
+	if err != nil {
+		return nil, fmt.Errorf("nodes: %w", err)
+	}
+	var rows []NodesRow
+	for _, s := range surfs {
+		for _, r := range s.Rows {
+			rows = append(rows, NodesRow{
+				Process: s.Process,
+				Option:  r.Option,
+				OL:      r.OL,
+				Sigma:   r.Cells[0].Sigma,
+				Mean:    r.Cells[0].Mean,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// nodesRowName renders the option/overlay label of a row.
+func nodesRowName(o litho.Option, ol float64) string {
+	if o == litho.LE3 {
+		return fmt.Sprintf("%v %.0fnm OL", o, ol*1e9)
+	}
+	return o.String()
+}
+
+// FormatNodes renders the comparison with one σ column per node — the
+// Table IV layout with the process as the horizontal axis.
+func FormatNodes(rows []NodesRow, n int) string {
+	var (
+		nodes []string
+		seen  = map[string]bool{}
+		confs []string
+		cseen = map[string]bool{}
+		cell  = map[string]float64{}
+	)
+	for _, r := range rows {
+		if !seen[r.Process] {
+			seen[r.Process] = true
+			nodes = append(nodes, r.Process)
+		}
+		c := nodesRowName(r.Option, r.OL)
+		if !cseen[c] {
+			cseen[c] = true
+			confs = append(confs, c)
+		}
+		cell[r.Process+"/"+c] = r.Sigma
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cross-node comparison: tdp σ [pp] per patterning option (array 10x%d)\n", n)
+	fmt.Fprintf(&b, "%-24s", "patterning option")
+	for _, nd := range nodes {
+		h := "σ@" + nd
+		fmt.Fprintf(&b, " %*s", 11+len(h)-utf8.RuneCountInString(h), h)
+	}
+	b.WriteString("\n")
+	for _, c := range confs {
+		fmt.Fprintf(&b, "%-24s", c)
+		for _, nd := range nodes {
+			fmt.Fprintf(&b, " %11.3f", cell[nd+"/"+c])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// NodesReport converts the rows for csv/md output (long format: one
+// record per process/option/overlay cell).
+func NodesReport(rows []NodesRow, n int) *report.Table {
+	t := report.New("Cross-node tdp sigma comparison",
+		"process", "option", "ol_nm", "wordlines", "sigma_pp", "mean_pp")
+	for _, r := range rows {
+		ol := ""
+		if r.Option == litho.LE3 {
+			ol = fmt.Sprintf("%.0f", r.OL*1e9)
+		}
+		_ = t.Appendf(r.Process, r.Option.String(), ol, n, r.Sigma, r.Mean)
+	}
+	return t
+}
+
+// Table4Surfaces extends Table4Surface across the node set: one extended
+// Table IV per process, each from its own shared-sample-stream surface.
+func Table4Surfaces(e Env) ([]mc.ProcessSurface, error) {
+	cases, err := e.processCases()
+	if err != nil {
+		return nil, fmt.Errorf("table4 surfaces: %w", err)
+	}
+	surfs, err := mc.SigmaSurfaceAcross(e.ctx(), cases, e.Cap, PaperSizes, PaperOLBudgets, e.MC)
+	if err != nil {
+		return nil, fmt.Errorf("table4 surfaces: %w", err)
+	}
+	return surfs, nil
+}
+
+// FormatTable4Surfaces renders the per-process surfaces back to back.
+func FormatTable4Surfaces(surfs []mc.ProcessSurface) string {
+	var b strings.Builder
+	for i, s := range surfs {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "[%s]\n%s", s.Process, FormatTable4Surface(s.Rows))
+	}
+	return b.String()
+}
+
+// Table4SurfacesReport converts the per-process surfaces for csv/md
+// output (long format with a leading process column).
+func Table4SurfacesReport(surfs []mc.ProcessSurface) *report.Table {
+	t := report.New("Table IV (extended) per process: tdp sigma across array sizes",
+		"process", "option", "ol_nm", "wordlines", "sigma_pp", "mean_pp")
+	for _, s := range surfs {
+		for _, r := range s.Rows {
+			ol := ""
+			if r.Option == litho.LE3 {
+				ol = fmt.Sprintf("%.0f", r.OL*1e9)
+			}
+			for _, c := range r.Cells {
+				_ = t.Appendf(s.Process, r.Option.String(), ol, c.N, c.Sigma, c.Mean)
+			}
+		}
+	}
+	return t
+}

@@ -401,6 +401,16 @@ func Draw(params []Param, rng *rand.Rand) Sample {
 	return s
 }
 
+// DrawFor draws one Gaussian variation sample for option o on process p:
+// the canonical per-(process, option) stream. The same PRNG state maps
+// through the process's own variation budgets (Params), so streams are
+// deterministic per (process, option) — two nodes consume identical
+// normal deviates scaled by their own σ amplitudes — and identical
+// between the analytic and SPICE-in-the-loop Monte-Carlo paths.
+func DrawFor(p tech.Process, o Option, rng *rand.Rand) Sample {
+	return Draw(Params(p, o), rng)
+}
+
 func baseParams(p tech.Process, o Option) []Param {
 	v := p.Var
 	switch o {

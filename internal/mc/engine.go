@@ -187,8 +187,15 @@ func RunVectorState(ctx context.Context, cfg Config, nobs int, f StateVectorFunc
 			defer wg.Done()
 			// One PRNG, one scratch vector and (when hooked) one state
 			// value per worker, reseeded / rewritten per trial instead of
-			// reallocated.
-			rng := rand.New(rand.NewSource(0))
+			// reallocated. FastReseed swaps the source for the splittable
+			// PCG64 whose Seed is O(1) instead of a 607-word table init;
+			// the stream changes, the determinism contract does not.
+			var rng *rand.Rand
+			if cfg.FastReseed {
+				rng = rand.New(new(pcgSource))
+			} else {
+				rng = rand.New(rand.NewSource(0))
+			}
 			out := make([]float64, nobs)
 			var state any
 			if cfg.WorkerState != nil {

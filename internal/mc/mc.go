@@ -35,6 +35,16 @@ type Config struct {
 	// exact quantiles and histograms. Off, the engine keeps only the
 	// streaming Welford moments — no O(Samples) buffer.
 	Collect bool
+	// FastReseed switches the per-trial PRNG to the splittable PCG64
+	// source (pcg.go), whose O(1) reseed is ~100× cheaper than the
+	// legacy lagged-Fibonacci 607-word table rebuild that otherwise
+	// dominates cheap-observable runs. Off (the default), the engine
+	// keeps the legacy source and its bit-exact historical sample
+	// stream. Turning it on changes every drawn sample — results remain
+	// deterministic per (Seed, trial) and bit-identical across worker
+	// counts, but must be re-baselined against the legacy goldens (see
+	// EXPERIMENTS.md).
+	FastReseed bool
 	// Progress, if non-nil, is called as trial blocks complete with the
 	// number of finished trials and the total. Calls are serialized by
 	// the engine and done is strictly increasing within one run, so the
@@ -101,7 +111,7 @@ func RunCtx(ctx context.Context, cfg Config, f SampleFunc) (Result, error) {
 // (via the canonical litho.Draw stream) and returns the extracted
 // variability ratios.
 func SampleRatios(p tech.Process, o litho.Option, cm extract.CapModel, rng *rand.Rand) (extract.Ratios, bool) {
-	s := litho.Draw(litho.Params(p, o), rng)
+	s := litho.DrawFor(p, o, rng)
 	r, err := extract.VarRatios(p, o, s, cm)
 	if err != nil {
 		return extract.Ratios{}, false
@@ -240,6 +250,44 @@ func SigmaSurface(ctx context.Context, p tech.Process, m analytic.Params, cm ext
 		}
 	}
 	return rows, nil
+}
+
+// ProcessCase pairs one technology preset with its derived analytical
+// model — the unit of the process sweep axis.
+type ProcessCase struct {
+	Proc  tech.Process
+	Model analytic.Params
+}
+
+// ProcessSurface is one node's extended Table IV: the per-option/overlay
+// tdp σ surface computed on that process.
+type ProcessSurface struct {
+	Process string
+	Rows    []SigmaSurfaceRow
+}
+
+// SigmaSurfaceAcross sweeps the process axis: one SigmaSurface per case,
+// in case order. Sample streams are deterministic per (process, option) —
+// every node's trial i re-derives the same PRNG state from (Seed, i) and
+// maps it through that node's own variation budgets via litho.Params —
+// and bit-identical across worker counts, so cross-node σ deltas are
+// attributable to the process, not to sampling noise layout.
+func SigmaSurfaceAcross(ctx context.Context, cases []ProcessCase, cm extract.CapModel, sizes []int, olBudgets []float64, cfg Config) ([]ProcessSurface, error) {
+	if len(cases) == 0 {
+		return nil, fmt.Errorf("mc: no process cases")
+	}
+	out := make([]ProcessSurface, 0, len(cases))
+	for _, c := range cases {
+		if err := c.Proc.Validate(); err != nil {
+			return nil, fmt.Errorf("mc: %w", err)
+		}
+		rows, err := SigmaSurface(ctx, c.Proc, c.Model, cm, sizes, olBudgets, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("mc: %s: %w", c.Proc.Name, err)
+		}
+		out = append(out, ProcessSurface{Process: c.Proc.Name, Rows: rows})
+	}
+	return out, nil
 }
 
 // SigmaSweep reproduces Table IV: the tdp σ for LE3 at each overlay budget
