@@ -1,27 +1,28 @@
 // Command mpvar regenerates the tables and figures of "Impact of
 // Interconnect Multiple-Patterning Variability on SRAMs" (DATE 2015) from
-// the mpsram library.
+// the mpsram library, plus the extension workloads that grew around them.
 //
 // Usage:
 //
-//	mpvar [flags] <experiment>
+//	mpvar [flags] <workload> [workload flags]
 //
-// where <experiment> is one of: table1 table2 table3 table4 fig2 fig3
-// fig4 fig5 all gds deck — plus the multi-node workloads nodes and
-// processes. The global -process flag selects the technology preset
-// (N10 default; N7/N5 derived) for every single-node experiment.
+// The workload list, the usage text and the per-workload flags are all
+// generated from the experiment registry (internal/exp): registering a
+// workload adds its command, its flags and its smoke coverage with no
+// edits here. Run `mpvar workloads` for the machine-readable listing,
+// `mpvar help <workload>` for one workload's parameters, and pass
+// `-format json|csv|md` for structured output on any workload.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
-	"strings"
 	"sync"
 
-	"mpsram/internal/analytic"
 	"mpsram/internal/core"
 	"mpsram/internal/exp"
 	"mpsram/internal/layout"
@@ -29,71 +30,244 @@ import (
 	"mpsram/internal/mc"
 	"mpsram/internal/report"
 	"mpsram/internal/sram"
-	"mpsram/internal/tech"
 )
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `usage: mpvar [flags] <experiment>
+// globals are the environment-level flags shared by every workload. The
+// struct doubles as the value store for both parse passes: re-registering
+// on a second FlagSet uses the current values as defaults, so pass-one
+// assignments survive.
+type globals struct {
+	samples  int
+	seed     int64
+	process  string
+	fastSeed bool
+	ol       float64
+	n        int
+	lumped   bool
+	workers  int
+	progress bool
+	thk      float64
+	format   string
+	smoke    bool
+	list     bool
+}
 
-experiments:
-  table1   worst-case variability per patterning option
-  fig2     worst-case layout distortion
-  fig3     array DOE overview
-  fig4     worst-case td / tdp vs array size (SPICE)
-  table2   formula vs simulation tdnom
-  table3   formula vs simulation tdp
-  fig5     Monte-Carlo tdp distribution (8nm OL, n=64)
-  table4   tdp sigma per option and overlay budget
-  table4x  extended Table IV: tdp sigma across all DOE sizes (shared stream)
-  mcspice  SPICE-in-the-loop Monte-Carlo tdp distributions (one full read
-           transient per draw and size at -n; every sample costs a
-           transient, so -samples defaults to 200 here instead of 10000)
-  all      every experiment in paper order
-  nodes    cross-node comparison: Table-IV-style tdp sigma across the
-           process registry (N10/N7/N5) at -n word lines
-  processes  list the technology registry (valid -process values)
-  snm      static noise margins (hold/read butterfly)
-  ext      extension studies: LE2 option, thickness source, write penalty
-  sens     first-order tdp variance propagation per option
-  gds      dump the 6T cell layout as GDS text
-  deck     dump a column SPICE deck (use -n)
+func defaultGlobals() *globals {
+	return &globals{samples: 10000, seed: 2015, process: "N10", ol: 8, n: 64, format: "text"}
+}
 
-flags:
+func (g *globals) register(fs *flag.FlagSet) {
+	fs.IntVar(&g.samples, "samples", g.samples, "Monte-Carlo sample count (workloads may hint a cheaper default)")
+	fs.Int64Var(&g.seed, "seed", g.seed, "Monte-Carlo seed")
+	fs.StringVar(&g.process, "process", g.process, "technology preset; run 'mpvar processes' for the registry")
+	fs.BoolVar(&g.fastSeed, "fastseed", g.fastSeed, "use the splittable PCG64 Monte-Carlo stream (cheaper reseed; changes sampled values — see EXPERIMENTS.md)")
+	fs.Float64Var(&g.ol, "ol", g.ol, "LE3 overlay 3-sigma budget in nm")
+	fs.IntVar(&g.n, "n", g.n, "array word-line count (workloads with an n parameter)")
+	fs.BoolVar(&g.lumped, "lumped", g.lumped, "use the lumped bit-line ablation")
+	fs.IntVar(&g.workers, "workers", g.workers, "worker count for Monte-Carlo and SPICE sweeps (0 = all CPUs)")
+	fs.BoolVar(&g.progress, "progress", g.progress, "report Monte-Carlo and SPICE sweep progress on stderr")
+	fs.Float64Var(&g.thk, "thk", g.thk, "thickness extension 3-sigma in nm (workloads with a thk parameter)")
+	fs.StringVar(&g.format, "format", g.format, "output format: text, csv, md or json")
+	fs.BoolVar(&g.smoke, "smoke", g.smoke, "tiny-budget smoke run: 4 samples plus each workload's smoke parameter overrides")
+	fs.BoolVar(&g.list, "list", g.list, "print the registered workload names, one per line, and exit")
+}
+
+// globalNames is the set of flag names register defines; workload
+// parameters with these names are fed by the global flag instead of a
+// duplicate per-workload binding.
+var globalNames = func() map[string]bool {
+	g := defaultGlobals()
+	fs := flag.NewFlagSet("", flag.ContinueOnError)
+	g.register(fs)
+	names := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) { names[f.Name] = true })
+	return names
+}()
+
+// usage renders the generated help: the workload listing straight from
+// the registry plus the static utility commands and the global flags.
+func usage(fs *flag.FlagSet, w io.Writer) {
+	fmt.Fprintf(w, `usage: mpvar [flags] <workload> [workload flags]
+
+workloads (from the registry; 'mpvar help <workload>' shows its parameters):
 `)
-	flag.PrintDefaults()
+	for _, wl := range exp.Workloads() {
+		fmt.Fprintf(w, "  %-12s %s\n", wl.Name, wl.Summary)
+	}
+	fmt.Fprintf(w, "\nutilities:\n")
+	for _, u := range []string{"gds", "deck", "help"} {
+		fmt.Fprintf(w, "  %-12s %s\n", u, utilities[u])
+	}
+	fmt.Fprintf(w, "\nflags:\n")
+	fs.SetOutput(w)
+	fs.PrintDefaults()
+}
+
+// utilities are the two non-registry artifact dumps (plus help itself),
+// kept out of the workload registry because they emit raw formats, not
+// tabular results.
+var utilities = map[string]string{
+	"gds":  "dump the 6T cell layout as GDS text (text only; honors -process)",
+	"deck": "dump a column SPICE deck (text only; honors -process and -n)",
+	"help": "describe a workload and its parameters",
+}
+
+// helpWorkload renders one workload's self-description; the static
+// utilities listed in the usage text are describable too.
+func helpWorkload(name string, w io.Writer) error {
+	if desc, ok := utilities[name]; ok {
+		fmt.Fprintf(w, "mpvar %s — %s\n", name, desc)
+		return nil
+	}
+	wl, err := exp.LookupWorkload(name)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "mpvar %s — %s\n", wl.Name, wl.Summary)
+	if len(wl.Params) == 0 {
+		fmt.Fprintf(w, "  (no workload parameters; global flags apply)\n")
+	}
+	for _, ps := range wl.Params {
+		fmt.Fprintf(w, "  -%s %v (default %v)\n      %s\n", ps.Name, ps.Kind, ps.Default, ps.Help)
+	}
+	if wl.Hints.Samples > 0 {
+		fmt.Fprintf(w, "  preferred -samples budget: %d (applied when -samples is not set)\n", wl.Hints.Samples)
+	}
+	if len(wl.Hints.Smoke) > 0 {
+		fmt.Fprintf(w, "  -smoke overrides: %v\n", wl.Hints.Smoke)
+	}
+	if wl.InAll {
+		fmt.Fprintf(w, "  part of the 'all' paper-order plan\n")
+	}
+	return nil
 }
 
 func main() {
-	samples := flag.Int("samples", 10000, "Monte-Carlo sample count")
-	seed := flag.Int64("seed", 2015, "Monte-Carlo seed")
-	process := flag.String("process", "N10", "technology preset; run 'mpvar processes' for the registry")
-	fastSeed := flag.Bool("fastseed", false, "use the splittable PCG64 Monte-Carlo stream (cheaper reseed; changes sampled values — see EXPERIMENTS.md)")
-	ol := flag.Float64("ol", 8, "LE3 overlay 3-sigma budget in nm")
-	n := flag.Int("n", 64, "array word-line count for deck/fig5/mcspice/nodes")
-	lumped := flag.Bool("lumped", false, "use the lumped bit-line ablation")
-	workers := flag.Int("workers", 0, "worker count for Monte-Carlo and SPICE sweeps (0 = all CPUs)")
-	progress := flag.Bool("progress", false, "report Monte-Carlo and SPICE sweep progress on stderr")
-	thkNM := flag.Float64("thk", 0, "enable the thickness extension: 3-sigma in nm (ext)")
-	formatFlag := flag.String("format", "text", "output format: text, csv or md")
-	flag.Usage = usage
-	flag.Parse()
-	if flag.NArg() != 1 {
-		usage()
+	g := defaultGlobals()
+	fs1 := flag.NewFlagSet("mpvar", flag.ExitOnError)
+	g.register(fs1)
+	fs1.Usage = func() { usage(fs1, os.Stderr) }
+	_ = fs1.Parse(os.Args[1:])
+	if g.list {
+		for _, name := range exp.WorkloadNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if fs1.NArg() < 1 {
+		usage(fs1, os.Stderr)
 		os.Exit(2)
 	}
-	flagsSeen := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { flagsSeen[f.Name] = true })
-	format, err := report.ParseFormat(*formatFlag)
+	name := fs1.Arg(0)
+	if name == "help" {
+		if fs1.NArg() < 2 {
+			usage(fs1, os.Stdout)
+			return
+		}
+		check(helpWorkload(fs1.Arg(1), os.Stdout))
+		return
+	}
+
+	seen := map[string]bool{}
+	fs1.Visit(func(f *flag.Flag) { seen[f.Name] = true })
+
+	// Registry workloads get a second parse pass over the arguments after
+	// the workload name: the global flags again (subcommand style) plus
+	// one flag per schema parameter that is not already a global.
+	var (
+		wl       exp.Workload
+		utility  = name == "gds" || name == "deck"
+		bound    = map[string]func() any{}
+		fs2      = flag.NewFlagSet("mpvar "+name, flag.ExitOnError)
+		wlookErr error
+	)
+	if !utility {
+		wl, wlookErr = exp.LookupWorkload(name)
+		if wlookErr != nil {
+			fmt.Fprintf(os.Stderr, "mpvar: %v\n\nrun 'mpvar' with no arguments for usage\n", wlookErr)
+			os.Exit(2)
+		}
+	}
+	g.register(fs2)
+	fs2.Usage = func() {
+		if utility {
+			usage(fs2, os.Stderr)
+			return
+		}
+		_ = helpWorkload(name, os.Stderr)
+		fmt.Fprintln(os.Stderr, "\nglobal flags:")
+		fs2.SetOutput(os.Stderr)
+		fs2.PrintDefaults()
+	}
+	for _, ps := range wl.Params {
+		if globalNames[ps.Name] {
+			// Fed by the (re-registered) global flag of the same name:
+			// every standard flag.Value implements flag.Getter, and the
+			// registry's coercion accepts its native type.
+			f := fs2.Lookup(ps.Name)
+			bound[ps.Name] = func() any { return f.Value.(flag.Getter).Get() }
+			continue
+		}
+		ps := ps
+		switch ps.Kind {
+		case exp.IntParam:
+			p := fs2.Int(ps.Name, ps.Default.(int), ps.Help)
+			bound[ps.Name] = func() any { return *p }
+		case exp.FloatParam:
+			p := fs2.Float64(ps.Name, ps.Default.(float64), ps.Help)
+			bound[ps.Name] = func() any { return *p }
+		case exp.BoolParam:
+			p := fs2.Bool(ps.Name, ps.Default.(bool), ps.Help)
+			bound[ps.Name] = func() any { return *p }
+		case exp.StringParam:
+			p := fs2.String(ps.Name, ps.Default.(string), ps.Help)
+			bound[ps.Name] = func() any { return *p }
+		}
+	}
+	_ = fs2.Parse(fs1.Args()[1:])
+	fs2.Visit(func(f *flag.Flag) { seen[f.Name] = true })
+	if fs2.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected argument %q after workload %s", fs2.Arg(0), name))
+	}
+	// Globals work in either position, so honor a post-name -list too.
+	if g.list {
+		for _, n := range exp.WorkloadNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	format, err := report.ParseFormat(g.format)
 	if err != nil {
 		fatal(err)
 	}
-	// emit renders either the paper-style text or a structured table.
-	emit := func(text string, tbl *report.Table) {
-		if format == report.FormatText {
-			fmt.Print(text)
-			return
+
+	// Budget hints: an unset -samples adopts the workload's preferred
+	// budget (e.g. SPICE-in-the-loop workloads at 200 draws, not the
+	// analytic 10k); -smoke clamps to a tiny budget instead.
+	if !seen["samples"] {
+		if g.smoke {
+			g.samples = 4
+		} else if wl.Hints.Samples > 0 {
+			g.samples = wl.Hints.Samples
 		}
-		check(tbl.Write(os.Stdout, format))
+	}
+
+	// Assemble the workload parameters: schema defaults are implicit;
+	// explicit flags win; -smoke fills its overrides where nothing was
+	// chosen.
+	params := exp.Params{}
+	for _, ps := range wl.Params {
+		if seen[ps.Name] {
+			params[ps.Name] = bound[ps.Name]()
+		}
+	}
+	if g.smoke {
+		for k, v := range wl.Hints.Smoke {
+			if _, explicit := params[k]; !explicit {
+				params[k] = v
+			}
+		}
 	}
 
 	// Ctrl-C cancels a running experiment instead of killing the process
@@ -110,23 +284,23 @@ func main() {
 
 	// Resolve the technology preset first: an unknown -process answers
 	// with the registry's valid names, not a bare failure.
-	proc, err := core.LookupProcess(*process)
+	proc, err := core.LookupProcess(g.process)
 	if err != nil {
 		fatal(err)
 	}
 	opts := []core.Option{
 		core.WithProcess(proc),
-		core.WithMC(mc.Config{Samples: *samples, Seed: *seed, FastReseed: *fastSeed}),
-		core.WithBuild(sram.BuildOptions{Lumped: *lumped}),
+		core.WithMC(mc.Config{Samples: g.samples, Seed: g.seed, FastReseed: g.fastSeed}),
+		core.WithBuild(sram.BuildOptions{Lumped: g.lumped}),
 		core.WithContext(ctx),
-		core.WithWorkers(*workers),
+		core.WithWorkers(g.workers),
 	}
 	// The -ol default (8 nm) equals the N10 preset; only an explicit -ol
 	// overrides a derived node's own scaled overlay budget.
-	if flagsSeen["ol"] || proc.Name == "N10" {
-		opts = append(opts, core.WithOverlay(*ol*1e-9))
+	if seen["ol"] || proc.Name == "N10" {
+		opts = append(opts, core.WithOverlay(g.ol*1e-9))
 	}
-	if *progress {
+	if g.progress {
 		opts = append(opts, core.WithProgress(progressPrinter()))
 	}
 	study, err := core.NewStudy(opts...)
@@ -134,130 +308,25 @@ func main() {
 		fatal(err)
 	}
 
-	switch flag.Arg(0) {
-	case "table1":
-		rows, err := study.WorstCases()
-		check(err)
-		emit(exp.FormatTable1(rows), exp.Table1Report(rows))
-	case "fig2":
-		es, err := study.Distortions()
-		check(err)
-		fmt.Print(exp.FormatFig2(es))
-	case "fig3":
-		rows, err := study.ArrayOverview()
-		check(err)
-		emit(exp.FormatFig3(rows), exp.Fig3Report(rows))
-	case "fig4":
-		pts, err := study.TdVsSize()
-		check(err)
-		emit(exp.FormatFig4(pts), exp.Fig4Report(pts))
-	case "table2":
-		rows, err := study.TdnomComparison()
-		check(err)
-		emit(exp.FormatTable2(rows), exp.Table2Report(rows))
-	case "table3":
-		rows, err := study.TdpComparison()
-		check(err)
-		emit(exp.FormatTable3(rows), exp.Table3Report(rows))
-	case "fig5":
-		// The effective overlay budget already folds in the gated -ol
-		// override, so a derived node's scaled budget is honoured here
-		// exactly as in the worst-case experiments.
-		res, err := exp.Fig5(study.Env, study.Env.Proc.Var.OL3Sigma, *n)
-		check(err)
-		emit(exp.FormatFig5(res), exp.Fig5Report(res))
-	case "table4":
-		rows, err := study.SigmaTable()
-		check(err)
-		emit(exp.FormatTable4(rows), exp.Table4Report(rows))
-	case "table4x":
-		rows, err := study.SigmaSurface()
-		check(err)
-		emit(exp.FormatTable4Surface(rows), exp.Table4SurfaceReport(rows))
-	case "mcspice":
-		// Every sample costs a full read transient, so an unset -samples
-		// uses the re-baselined SPICE-MC budget, not the analytic 10k.
-		if !flagsSeen["samples"] {
-			study.Env.MC.Samples = 200
-		}
-		rows, err := study.SpiceMC([]int{*n})
-		check(err)
-		emit(exp.FormatSpiceMC(rows, study.Env.MC.Samples), exp.SpiceMCReport(rows))
-	case "nodes":
-		rows, err := study.NodesAt(*n)
-		check(err)
-		emit(exp.FormatNodes(rows, *n), exp.NodesReport(rows, *n))
-	case "processes":
-		emit(formatProcesses(), processesReport())
-	case "snm":
-		res, err := sram.StaticNoiseMargins(study.Env.Proc)
-		check(err)
-		fmt.Printf("static noise margins (%s, %.1f V):\n  hold: %.3f V\n  read: %.3f V\n",
-			study.Env.Proc.Name, study.Env.Proc.FEOL.Vdd, res.Hold, res.Read)
-	case "sens":
-		m, err := study.Model()
-		check(err)
-		fmt.Printf("First-order tdp variance propagation (n=%d):\n", *n)
-		for _, o := range litho.AllOptions {
-			prop, err := analytic.PropagateTdp(study.Env.Proc, o, m, study.Env.Cap, *n)
-			check(err)
-			fmt.Printf("%-8v σ(tdp) ≈ %.3f pp\n", o, prop.SigmaPP)
-			for _, s := range prop.Sensitivities {
-				fmt.Printf("    %-10s σ=%5.2fnm  Δtdp/σ = %+7.3f pp\n",
-					s.Param, s.Sigma*1e9, s.DTdpDSigma)
-			}
-		}
-	case "ext":
-		thk := *thkNM * 1e-9
-		rows, err := exp.ExtTable1(study.Env, thk)
-		check(err)
-		fmt.Print(exp.FormatExtTable1(rows, thk))
-		wrows, err := exp.WritePenalty(study.Env, *n)
-		check(err)
-		fmt.Print(exp.FormatWritePenalty(wrows))
-	case "all":
-		check(study.RunAll(os.Stdout))
+	// The two non-registry utilities: raw artifact dumps, text only.
+	switch name {
 	case "gds":
 		cell := layout.SRAM6TCell(study.Env.Proc)
 		check(cell.WriteGDSText(os.Stdout))
+		return
 	case "deck":
 		p := study.Env.Proc
 		nom, err := sram.NominalParasitics(p, study.Env.Cap)
 		check(err)
-		col, err := sram.BuildColumn(p, *n, nom, study.Env.Build)
+		col, err := sram.BuildColumn(p, g.n, nom, study.Env.Build)
 		check(err)
-		fmt.Print(col.Netlist.WriteSpice(fmt.Sprintf("sram column n=%d (%s)", *n, litho.EUV)))
-	default:
-		fmt.Fprintf(os.Stderr, "mpvar: unknown experiment %q\n\n", flag.Arg(0))
-		usage()
-		os.Exit(2)
+		fmt.Print(col.Netlist.WriteSpice(fmt.Sprintf("sram column n=%d (%s)", g.n, litho.EUV)))
+		return
 	}
-}
 
-// formatProcesses renders the technology registry as text.
-func formatProcesses() string {
-	var b strings.Builder
-	b.WriteString("technology registry (-process values):\n")
-	fmt.Fprintf(&b, "%-6s %10s %10s %10s %10s %12s\n",
-		"name", "pitch", "width", "CD 3σ", "OL 3σ", "rho")
-	for _, p := range tech.Default().Processes() {
-		fmt.Fprintf(&b, "%-6s %8.1fnm %8.1fnm %8.2fnm %8.2fnm %9.2e Ωm\n",
-			p.Name, p.M1.Pitch*1e9, p.M1.Width*1e9,
-			p.Var.CD3Sigma*1e9, p.Var.OL3Sigma*1e9, p.M1.Rho)
-	}
-	return b.String()
-}
-
-// processesReport converts the registry listing for csv/md output.
-func processesReport() *report.Table {
-	t := report.New("Technology registry",
-		"name", "m1_pitch_nm", "m1_width_nm", "m1_thickness_nm",
-		"cd3sigma_nm", "spacer3sigma_nm", "ol3sigma_nm", "rho_ohm_m")
-	for _, p := range tech.Default().Processes() {
-		_ = t.Appendf(p.Name, p.M1.Pitch*1e9, p.M1.Width*1e9, p.M1.Thickness*1e9,
-			p.Var.CD3Sigma*1e9, p.Var.Spacer3Sigma*1e9, p.Var.OL3Sigma*1e9, p.M1.Rho)
-	}
-	return t
+	res, err := study.Run(name, params)
+	check(err)
+	check(res.Write(os.Stdout, format))
 }
 
 // progressPrinter returns a concurrency-safe progress callback shared by

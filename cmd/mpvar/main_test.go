@@ -1,0 +1,137 @@
+package main
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"mpsram/internal/exp"
+)
+
+// TestUsageGeneratedFromRegistry pins the self-describing usage: every
+// registered workload appears with its summary, with the utilities and
+// the global flags after it.
+func TestUsageGeneratedFromRegistry(t *testing.T) {
+	g := defaultGlobals()
+	fs := flag.NewFlagSet("mpvar", flag.ContinueOnError)
+	g.register(fs)
+	var b strings.Builder
+	usage(fs, &b)
+	out := b.String()
+	for _, want := range []string{
+		"table1", "mcspicex", "workloads", "all", // registry entries
+		"gds", "deck", "help", // utilities
+		"-format", "-smoke", "-list", // flags
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("usage missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHelpUtilities: the usage text lists gds/deck/help, so help must
+// describe them instead of answering "unknown workload".
+func TestHelpUtilities(t *testing.T) {
+	for name := range utilities {
+		var b strings.Builder
+		if err := helpWorkload(name, &b); err != nil || !strings.Contains(b.String(), "mpvar "+name) {
+			t.Fatalf("help %s: %v\n%s", name, err, b.String())
+		}
+	}
+}
+
+// TestDefaultsNormalizedForFlagBinding pins the Register/CLI contract:
+// every registered default already has its kind's native type, so the
+// flag-binding type assertions (ps.Default.(int) …) cannot panic.
+func TestDefaultsNormalizedForFlagBinding(t *testing.T) {
+	for _, wl := range exp.Workloads() {
+		for _, ps := range wl.Params {
+			var ok bool
+			switch ps.Kind {
+			case exp.IntParam:
+				_, ok = ps.Default.(int)
+			case exp.FloatParam:
+				_, ok = ps.Default.(float64)
+			case exp.BoolParam:
+				_, ok = ps.Default.(bool)
+			case exp.StringParam:
+				_, ok = ps.Default.(string)
+			}
+			if !ok {
+				t.Errorf("%s.%s: default %v (%T) not normalized to %v",
+					wl.Name, ps.Name, ps.Default, ps.Default, ps.Kind)
+			}
+		}
+	}
+}
+
+// TestHelpWorkload renders one workload's schema-derived description.
+func TestHelpWorkload(t *testing.T) {
+	var b strings.Builder
+	if err := helpWorkload("mcspicex", &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"-sizes string", "16,64,256,1024", "preferred -samples budget: 120", "-smoke overrides"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("help missing %q:\n%s", want, out)
+		}
+	}
+	if err := helpWorkload("bogus", &b); err == nil || !strings.Contains(err.Error(), "table1") {
+		t.Fatalf("unknown workload help must list the registry, got %v", err)
+	}
+	b.Reset()
+	if err := helpWorkload("table1", &b); err != nil || !strings.Contains(b.String(), "no workload parameters") {
+		t.Fatalf("parameterless help drifted: %v\n%s", err, b.String())
+	}
+}
+
+// TestGlobalsTwoPassParse pins the two-pass flag scheme: re-registering
+// on a second FlagSet keeps pass-one values as defaults, and both passes
+// contribute to the seen set.
+func TestGlobalsTwoPassParse(t *testing.T) {
+	g := defaultGlobals()
+	fs1 := flag.NewFlagSet("mpvar", flag.ContinueOnError)
+	g.register(fs1)
+	if err := fs1.Parse([]string{"-samples", "8", "mcspice", "-n", "16"}); err != nil {
+		t.Fatal(err)
+	}
+	if fs1.Arg(0) != "mcspice" || g.samples != 8 {
+		t.Fatalf("pass one drifted: arg %q samples %d", fs1.Arg(0), g.samples)
+	}
+	fs2 := flag.NewFlagSet("mpvar mcspice", flag.ContinueOnError)
+	g.register(fs2)
+	if err := fs2.Parse(fs1.Args()[1:]); err != nil {
+		t.Fatal(err)
+	}
+	if g.samples != 8 || g.n != 16 {
+		t.Fatalf("pass two lost values: samples %d n %d", g.samples, g.n)
+	}
+	seen := map[string]bool{}
+	fs1.Visit(func(f *flag.Flag) { seen[f.Name] = true })
+	fs2.Visit(func(f *flag.Flag) { seen[f.Name] = true })
+	if !seen["samples"] || !seen["n"] || seen["ol"] {
+		t.Fatalf("seen set drifted: %v", seen)
+	}
+	// Any global flag can feed a same-named workload parameter through
+	// the flag.Getter interface — not just a hand-picked subset.
+	for name, want := range map[string]any{"n": 16, "samples": 8, "thk": 0.0, "ol": 8.0, "workers": 0, "process": "N10"} {
+		if got := fs2.Lookup(name).Value.(flag.Getter).Get(); got != want {
+			t.Fatalf("global feed for %s = %v (%T), want %v", name, got, got, want)
+		}
+	}
+	if !globalNames["n"] || !globalNames["format"] || globalNames["sizes"] {
+		t.Fatalf("global name set drifted: %v", globalNames)
+	}
+}
+
+// TestProgressPrinter drives the stderr progress callback through a
+// restart (a second stream with lower done) without panicking.
+func TestProgressPrinter(t *testing.T) {
+	fn := progressPrinter()
+	for done := 0; done <= 100; done += 10 {
+		fn(done, 100)
+	}
+	fn(5, 50) // new stream restarts the percentage tracking
+	fn(50, 50)
+}

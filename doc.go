@@ -49,6 +49,22 @@
 // CSVs under internal/exp/testdata/golden (regenerate with
 // go test ./internal/exp -run Golden -update).
 //
+// Experiments are addressed through the workload registry (internal/exp):
+// each experiment registers a Workload descriptor — name, summary, typed
+// parameter schema with defaults, budget hints — plus a uniform
+// Run(ctx, Env, Params) returning a Result whose typed rows feed one
+// rendering contract, so csv, markdown and json encoding live once in
+// internal/report instead of per table. core.Study.Run dispatches by
+// name, Study.Workloads lists the registry, and RunAll is a plan over the
+// workloads marked for the paper-order report. The mpvar CLI generates
+// its usage, per-workload flags and smoke coverage from the registry;
+// registering a workload (one file with an init block — see
+// internal/exp/mcspicex.go for the template) adds its command, flags,
+// json output and CI smoke with no edits elsewhere. The pre-registry
+// Study methods (WorstCases, SigmaTable, …) remain as deprecation shims
+// over Run — same signatures, byte-identical results; the shim set is
+// frozen and new experiments appear only as workloads.
+//
 // The benchmark harness in bench_test.go regenerates every table and
 // figure of the paper's evaluation section; run
 //

@@ -2,19 +2,21 @@
 // worst-case read-time penalty versus array size for all three patterning
 // options, printed as the series the paper plots.
 //
-// The sweep goes through the sharded sweep engine: one declarative plan,
-// deduplicated (one nominal transient per size serves every option's
-// penalty denominator), executed on a worker pool, consumed as views.
+// The experiment is dispatched through the workload registry
+// (Study.Run("fig4")), which runs the sharded sweep engine underneath:
+// one declarative plan, deduplicated (one nominal transient per size
+// serves every option's penalty denominator), executed on a worker pool.
+// The typed rows come back on the Result for custom rendering; the
+// registry's own csv/md/json encoders are one res.Write call away.
 package main
 
 import (
-	"context"
 	"fmt"
 	"log"
 
 	"mpsram/internal/core"
+	"mpsram/internal/exp"
 	"mpsram/internal/litho"
-	"mpsram/internal/sweep"
 )
 
 func main() {
@@ -22,25 +24,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	env := study.Env
-	sizes := []int{16, 64, 256, 1024}
-
-	plan := sweep.NewPlan()
-	plan.AddNominal(sizes...)
-	for _, o := range litho.Options {
-		plan.AddWorstCase(o, sizes...)
-	}
-	res, err := sweep.Run(context.Background(), sweep.Env{
-		Proc:  env.Proc,
-		Cap:   env.Cap,
-		Build: env.Build,
-		Sim:   env.Sim,
-	}, plan, sweep.Config{})
+	res, err := study.Run("fig4", nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("Worst-case td penalty vs array size (SPICE, N10; %d unique transients):\n",
-		res.Jobs())
+	pts := res.Data.([]exp.Fig4Point)
+	sizes := exp.PaperSizes
+
+	// Re-shape the series into the penalty matrix the paper plots.
+	tdp := map[litho.Option]map[int]float64{}
+	tdnom := map[int]float64{}
+	for _, p := range pts {
+		if tdp[p.Option] == nil {
+			tdp[p.Option] = map[int]float64{}
+		}
+		tdp[p.Option][p.N] = p.TdpPct
+		tdnom[p.N] = p.TdNom
+	}
+	fmt.Printf("Worst-case td penalty vs array size (SPICE, %s):\n", study.Env.Proc.Name)
 	fmt.Printf("%-8s", "option")
 	for _, n := range sizes {
 		fmt.Printf(" %10s", fmt.Sprintf("10x%d", n))
@@ -49,18 +50,18 @@ func main() {
 	for _, o := range litho.Options {
 		fmt.Printf("%-8v", o)
 		for _, n := range sizes {
-			tdp, ok := res.TdpPct(o, n)
+			p, ok := tdp[o][n]
 			if !ok {
-				log.Fatalf("missing sweep point %v n=%d", o, n)
+				log.Fatalf("missing fig4 point %v n=%d", o, n)
 			}
-			fmt.Printf(" %+9.2f%%", tdp)
+			fmt.Printf(" %+9.2f%%", p)
 		}
 		fmt.Println()
 	}
 
 	fmt.Println("\nNominal read time vs array size:")
 	for _, n := range sizes {
-		td, ok := res.TdNom(n)
+		td, ok := tdnom[n]
 		if !ok {
 			log.Fatalf("missing nominal point n=%d", n)
 		}

@@ -1,6 +1,7 @@
 // Montecarlo: reproduce the paper's Fig. 5 / Table IV flow — Monte-Carlo
-// sampling of process variation through the fast analytical model — and
-// print the tdp distributions as ASCII histograms.
+// sampling of process variation through the fast analytical model — with
+// both experiments dispatched through the workload registry, and print
+// the tdp distributions as ASCII histograms.
 package main
 
 import (
@@ -20,22 +21,25 @@ func main() {
 	}
 
 	// Fig. 5 at the paper's operating point: 8 nm 3σ overlay, n = 64.
-	results, err := exp.Fig5(study.Env, 8e-9, 64)
+	// The parameters are schema-validated — a typo'd name or a wrong
+	// type errors with the valid schema instead of being ignored.
+	f5, err := study.Run("fig5", exp.Params{"n": 64, "ol": 8.0})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(exp.FormatFig5(results))
+	fmt.Print(f5.Text)
 
 	// Table IV: σ per option and overlay budget.
-	rows, err := study.SigmaTable()
+	t4, err := study.Run("table4", nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(exp.FormatTable4(rows))
+	fmt.Print(t4.Text)
 
-	// The ratio the paper's conclusion quotes: LE3 at 8 nm vs SADP.
+	// The ratio the paper's conclusion quotes: LE3 at 8 nm vs SADP,
+	// computed from the typed rows the Result carries.
 	var le38, sadp float64
-	for _, r := range rows {
+	for _, r := range t4.Data.([]mc.SigmaSweepRow) {
 		if r.Option == litho.LE3 && r.OL == 8e-9 {
 			le38 = r.Sigma
 		}

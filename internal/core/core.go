@@ -3,19 +3,29 @@
 // the parasitic extractor, the SPICE simulator, the analytical model and
 // the Monte-Carlo machinery into the paper's experiments.
 //
-// Typical use:
+// Experiments are addressed through the workload registry: Run executes
+// any registered workload by name with typed, schema-validated
+// parameters, Workloads lists the registry, and RunAll executes the
+// paper-order plan. Typical use:
 //
 //	study, _ := core.NewStudy()
-//	rows, _ := study.WorstCases()            // Table I
+//	res, _ := study.Run("table4", nil)        // Table IV as a Result
+//	res.Write(os.Stdout, report.FormatJSON)   // any format, one encoder
 //	td, _ := study.ReadTime(litho.LE3, s, 64) // one SPICE read
-//	sig, _ := study.SigmaTable()             // Table IV
-//	study.RunAll(os.Stdout)                  // every table and figure
+//	study.RunAll(os.Stdout)                   // every table and figure
+//
+// The per-experiment convenience methods (WorstCases, SigmaTable, …)
+// remain as deprecation shims over Run: same signatures, same results,
+// byte-identical outputs. New experiments only appear as workloads; the
+// shim set is frozen and will not grow.
 package core
 
 import (
 	"context"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 
 	"mpsram/internal/analytic"
 	"mpsram/internal/exp"
@@ -123,62 +133,146 @@ func NewStudy(opts ...Option) (*Study, error) {
 	return &Study{Env: env}, nil
 }
 
+// Run executes a registered workload by name with schema-validated
+// parameters — the one experiment surface. The environment's context,
+// budget, process and worker configuration all apply; the result carries
+// the typed rows, the tabular view for the shared csv/md/json encoders
+// and the paper-style text.
+func (s *Study) Run(name string, p exp.Params) (*exp.Result, error) {
+	return exp.Run(nil, s.Env, name, p)
+}
+
+// Workloads lists the experiment registry in listing order.
+func (s *Study) Workloads() []exp.Workload { return exp.Workloads() }
+
 // Model returns the analytical formula parameters for this study.
 func (s *Study) Model() (analytic.Params, error) { return s.Env.Model() }
 
+// data runs a workload and type-asserts its typed rows — the shim path
+// of the deprecated per-experiment methods.
+func data[T any](s *Study, name string, p exp.Params) (T, error) {
+	res, err := s.Run(name, p)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return res.Data.(T), nil
+}
+
 // WorstCases runs the Table I corner search.
-func (s *Study) WorstCases() ([]exp.Table1Row, error) { return exp.Table1(s.Env) }
+//
+// Deprecated: use Run("table1", nil).
+func (s *Study) WorstCases() ([]exp.Table1Row, error) {
+	return data[[]exp.Table1Row](s, "table1", nil)
+}
 
 // Distortions runs the Fig. 2 worst-case geometry dump.
-func (s *Study) Distortions() ([]exp.Fig2Entry, error) { return exp.Fig2(s.Env) }
+//
+// Deprecated: use Run("fig2", nil).
+func (s *Study) Distortions() ([]exp.Fig2Entry, error) {
+	return data[[]exp.Fig2Entry](s, "fig2", nil)
+}
 
 // ArrayOverview runs the Fig. 3 DOE floorplans.
-func (s *Study) ArrayOverview() ([]exp.Fig3Row, error) { return exp.Fig3(s.Env) }
+//
+// Deprecated: use Run("fig3", nil).
+func (s *Study) ArrayOverview() ([]exp.Fig3Row, error) {
+	return data[[]exp.Fig3Row](s, "fig3", nil)
+}
 
 // TdVsSize runs the Fig. 4 SPICE sweep.
-func (s *Study) TdVsSize() ([]exp.Fig4Point, error) { return exp.Fig4(s.Env) }
+//
+// Deprecated: use Run("fig4", nil).
+func (s *Study) TdVsSize() ([]exp.Fig4Point, error) {
+	return data[[]exp.Fig4Point](s, "fig4", nil)
+}
 
 // SpiceTables runs Fig. 4, Table II and Table III as views over one
 // shared, deduplicated SPICE sweep: every unique transient (one nominal
 // per DOE size, one worst case per option and size) is simulated exactly
 // once and consumed by all three reproductions.
-func (s *Study) SpiceTables() (*exp.SpiceResults, error) { return exp.SpiceTables(s.Env) }
+//
+// Deprecated: use Run("spicetables", nil).
+func (s *Study) SpiceTables() (*exp.SpiceResults, error) {
+	return data[*exp.SpiceResults](s, "spicetables", nil)
+}
 
 // TdnomComparison runs Table II.
-func (s *Study) TdnomComparison() ([]exp.Table2Row, error) { return exp.Table2(s.Env) }
+//
+// Deprecated: use Run("table2", nil).
+func (s *Study) TdnomComparison() ([]exp.Table2Row, error) {
+	return data[[]exp.Table2Row](s, "table2", nil)
+}
 
 // TdpComparison runs Table III.
-func (s *Study) TdpComparison() ([]exp.Table3Row, error) { return exp.Table3(s.Env) }
+//
+// Deprecated: use Run("table3", nil).
+func (s *Study) TdpComparison() ([]exp.Table3Row, error) {
+	return data[[]exp.Table3Row](s, "table3", nil)
+}
 
 // Distribution runs the Fig. 5 Monte-Carlo at the paper's 8 nm / n=64.
+//
+// Deprecated: use Run("fig5", …) with the n and ol parameters.
 func (s *Study) Distribution() ([]exp.Fig5Result, error) {
-	return exp.Fig5(s.Env, 8e-9, 64)
+	return data[[]exp.Fig5Result](s, "fig5", exp.Params{"n": 64, "ol": 8.0})
 }
 
 // SigmaTable runs Table IV.
-func (s *Study) SigmaTable() ([]mc.SigmaSweepRow, error) { return exp.Table4(s.Env) }
+//
+// Deprecated: use Run("table4", nil).
+func (s *Study) SigmaTable() ([]mc.SigmaSweepRow, error) {
+	return data[[]mc.SigmaSweepRow](s, "table4", nil)
+}
 
 // SigmaSurface runs the extended Table IV: tdp σ per option and overlay
 // budget at every DOE array size, one shared sample stream per option.
-func (s *Study) SigmaSurface() ([]mc.SigmaSurfaceRow, error) { return exp.Table4Surface(s.Env) }
+//
+// Deprecated: use Run("table4x", nil).
+func (s *Study) SigmaSurface() ([]mc.SigmaSurfaceRow, error) {
+	return data[[]mc.SigmaSurfaceRow](s, "table4x", nil)
+}
 
 // SigmaSurfaces runs the extended Table IV on every process of the
 // study's node set: one σ surface per node.
-func (s *Study) SigmaSurfaces() ([]mc.ProcessSurface, error) { return exp.Table4Surfaces(s.Env) }
+//
+// Deprecated: use Run("table4xp", nil).
+func (s *Study) SigmaSurfaces() ([]mc.ProcessSurface, error) {
+	return data[[]mc.ProcessSurface](s, "table4xp", nil)
+}
 
 // Nodes runs the cross-node σ comparison (Table IV layout with the
 // process as the horizontal axis) at the paper's n = 64.
-func (s *Study) Nodes() ([]exp.NodesRow, error) { return exp.Nodes(s.Env) }
+//
+// Deprecated: use Run("nodes", nil).
+func (s *Study) Nodes() ([]exp.NodesRow, error) {
+	return data[[]exp.NodesRow](s, "nodes", nil)
+}
 
 // NodesAt is Nodes at an explicit array size.
-func (s *Study) NodesAt(n int) ([]exp.NodesRow, error) { return exp.NodesAt(s.Env, n) }
+//
+// Deprecated: use Run("nodes", …) with the n parameter.
+func (s *Study) NodesAt(n int) ([]exp.NodesRow, error) {
+	return data[[]exp.NodesRow](s, "nodes", exp.Params{"n": n})
+}
 
 // SpiceMC runs the SPICE-in-the-loop Monte-Carlo at the given array
 // sizes: one full read transient per draw and size, on per-worker
 // resident engines. The transient budget is Samples × len(sizes) per
 // option, so this wants a budget of hundreds of samples rather than the
 // analytic default of ten thousand.
-func (s *Study) SpiceMC(sizes []int) ([]exp.SpiceMCRow, error) { return exp.SpiceMC(s.Env, sizes) }
+//
+// Deprecated: use Run("mcspice", …) with the sizes parameter.
+func (s *Study) SpiceMC(sizes []int) ([]exp.SpiceMCRow, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("core: no array sizes requested")
+	}
+	specs := make([]string, len(sizes))
+	for i, n := range sizes {
+		specs[i] = strconv.Itoa(n)
+	}
+	return data[[]exp.SpiceMCRow](s, "mcspice", exp.Params{"sizes": strings.Join(specs, ",")})
+}
 
 // ReadTime simulates one read and returns td for option o under variation
 // sample smp at array size n.
@@ -209,41 +303,14 @@ func (s *Study) TdpDistribution(o litho.Option, n int) (stats.Summary, error) {
 	return res.Summary, nil
 }
 
-// RunAll executes every experiment and writes the paper-style report.
+// RunAll executes every experiment of the paper-order plan — the
+// registry workloads marked for it, including the shared-sweep
+// spicetables composite — and writes the paper-style report.
 func (s *Study) RunAll(w io.Writer) error {
-	t1, err := s.WorstCases()
+	res, err := s.Run("all", nil)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(w, exp.FormatTable1(t1))
-	f2, err := s.Distortions()
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, exp.FormatFig2(f2))
-	f3, err := s.ArrayOverview()
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, exp.FormatFig3(f3))
-	// The three SPICE-driven reproductions share one deduplicated sweep:
-	// every unique transient runs exactly once per RunAll invocation.
-	sp, err := s.SpiceTables()
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, exp.FormatFig4(sp.Fig4))
-	fmt.Fprintln(w, exp.FormatTable2(sp.Table2))
-	fmt.Fprintln(w, exp.FormatTable3(sp.Table3))
-	f5, err := s.Distribution()
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, exp.FormatFig5(f5))
-	t4, err := s.SigmaTable()
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, exp.FormatTable4(t4))
-	return nil
+	_, err = io.WriteString(w, res.Text)
+	return err
 }

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mpsram/internal/exp"
+	"mpsram/internal/mc"
+	"mpsram/internal/report"
+)
+
+// TestStudyRunSurface covers the registry-facing facade: listing,
+// dispatch, the unknown-name contract and parameter validation.
+func TestStudyRunSurface(t *testing.T) {
+	s, err := NewStudy(WithMC(mc.Config{Samples: 50, Seed: 2015}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := s.Workloads()
+	if len(ws) < 15 {
+		t.Fatalf("registry too small: %d", len(ws))
+	}
+	if _, err := s.Run("bogus", nil); err == nil || !strings.Contains(err.Error(), "table1") {
+		t.Fatalf("unknown workload must list the registry, got %v", err)
+	}
+	if _, err := s.Run("nodes", exp.Params{"n": "x"}); err == nil {
+		t.Fatal("bad param accepted")
+	}
+	res, err := s.Run("table1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Text == "" || len(res.Tables) == 0 || res.Data == nil {
+		t.Fatalf("incomplete result %+v", res)
+	}
+}
+
+// TestShimsMatchRun pins the deprecation-shim contract on a cheap
+// workload: the typed convenience method returns exactly the registry
+// path's rows.
+func TestShimsMatchRun(t *testing.T) {
+	s, err := NewStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shim, err := s.WorstCases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run("table1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Data.([]exp.Table1Row)
+	if len(shim) != len(rows) || shim[0] != rows[0] || shim[len(shim)-1] != rows[len(rows)-1] {
+		t.Fatal("shim rows drifted from Run rows")
+	}
+}
+
+// TestCheapShims keeps the fast deprecation shims covered on the short
+// path: each returns non-empty typed rows through Run.
+func TestCheapShims(t *testing.T) {
+	s, err := NewStudy(WithMC(mc.Config{Samples: 20, Seed: 2015}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows, err := s.Distortions(); err != nil || len(rows) != 3 {
+		t.Fatalf("Distortions: %d rows, %v", len(rows), err)
+	}
+	if rows, err := s.ArrayOverview(); err != nil || len(rows) != 4 {
+		t.Fatalf("ArrayOverview: %d rows, %v", len(rows), err)
+	}
+	if rows, err := s.Distribution(); err != nil || len(rows) != 3 {
+		t.Fatalf("Distribution: %d rows, %v", len(rows), err)
+	}
+	if rows, err := s.Nodes(); err != nil || len(rows) != 18 {
+		t.Fatalf("Nodes: %d rows, %v", len(rows), err)
+	}
+	if surfs, err := s.SigmaSurfaces(); err != nil || len(surfs) != 3 {
+		t.Fatalf("SigmaSurfaces: %d surfaces, %v", len(surfs), err)
+	}
+	if _, err := s.SpiceMC(nil); err == nil {
+		t.Fatal("SpiceMC with no sizes must fail")
+	}
+}
+
+// TestAllWorkloadsSmoke runs every registered workload at a tiny budget
+// through Study.Run — the single smoke gate that replaces per-workload
+// CI steps. A newly registered workload is covered here automatically;
+// its Hints.Smoke parameters keep heavyweight DOEs affordable.
+func TestAllWorkloadsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SPICE-backed workloads in -short mode")
+	}
+	s, err := NewStudy(WithMC(mc.Config{Samples: 4, Seed: 2015}), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range s.Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			res, err := s.Run(w.Name, w.Hints.Smoke)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Text == "" {
+				t.Fatal("empty text rendering")
+			}
+			if len(res.Tables) == 0 || res.Data == nil {
+				t.Fatalf("incomplete result: %d tables, data %T", len(res.Tables), res.Data)
+			}
+			// Every workload speaks every encoder; JSON must decode.
+			var b strings.Builder
+			for _, f := range []report.Format{report.FormatCSV, report.FormatMarkdown} {
+				if err := res.Write(&b, f); err != nil {
+					t.Fatalf("format %v: %v", f, err)
+				}
+			}
+			b.Reset()
+			if err := res.Write(&b, report.FormatJSON); err != nil {
+				t.Fatal(err)
+			}
+			var doc []struct {
+				Rows []map[string]any `json:"rows"`
+			}
+			if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+				t.Fatalf("invalid json: %v\n%s", err, b.String())
+			}
+			if len(doc) != len(res.Tables) {
+				t.Fatalf("json tables %d, result tables %d", len(doc), len(res.Tables))
+			}
+		})
+	}
+}

@@ -129,3 +129,19 @@ func TestGoldenSpiceMC(t *testing.T) {
 	}
 	checkGolden(t, "mcspice.csv", SpiceMCReport(rows))
 }
+
+// TestGoldenMCSpiceX snapshots the paired SPICE/analytic Monte-Carlo at a
+// minimal budget, through the registry (Run) rather than the driver, so
+// the golden also pins the workload's parameter plumbing.
+func TestGoldenMCSpiceX(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SPICE-in-the-loop MC in -short mode")
+	}
+	e := goldenEnv()
+	e.MC.Samples = 12
+	res, err := Run(nil, e, "mcspicex", Params{"sizes": "8,16"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "mcspicex.csv", res.Tables[0])
+}

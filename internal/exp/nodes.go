@@ -8,6 +8,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"unicode/utf8"
@@ -17,6 +18,22 @@ import (
 	"mpsram/internal/report"
 	"mpsram/internal/tech"
 )
+
+func init() {
+	Register(Workload{
+		Name: "nodes", Summary: "cross-node tdp sigma comparison across the process registry",
+		Order:  100,
+		Params: []ParamSpec{{Name: "n", Kind: IntParam, Default: NodesN, Help: "array word-line count"}},
+		Run: func(ctx context.Context, e Env, p Params) (*Result, error) {
+			n := p.Int("n")
+			rows, err := NodesAt(e, n)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Data: rows, Tables: []*report.Table{NodesReport(rows, n)}, Text: FormatNodes(rows, n)}, nil
+		},
+	})
+}
 
 // NodesN is the array size of the cross-node comparison (the paper's
 // Table IV size).

@@ -8,6 +8,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -17,6 +18,39 @@ import (
 	"mpsram/internal/sram"
 	"mpsram/internal/stats"
 )
+
+func init() {
+	Register(Workload{
+		Name: "mcspice", Summary: "SPICE-in-the-loop Monte-Carlo tdp distributions (one transient per draw)",
+		Order: 110,
+		Params: []ParamSpec{
+			{Name: "n", Kind: IntParam, Default: 64, Help: "array word-line count"},
+			{Name: "sizes", Kind: StringParam, Default: "",
+				Help: "comma-separated word-line counts (overrides -n)"},
+		},
+		// Every sample costs a full read transient, so the preferred
+		// budget is the re-baselined 200 draws, not the analytic 10k.
+		Hints: Hints{Samples: 200},
+		Run: func(ctx context.Context, e Env, p Params) (*Result, error) {
+			sizes := []int{p.Int("n")}
+			if s := p.String("sizes"); s != "" {
+				var err error
+				if sizes, err = ParseSizes(s); err != nil {
+					return nil, err
+				}
+			}
+			rows, err := SpiceMC(e, sizes)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{
+				Data:   rows,
+				Tables: []*report.Table{SpiceMCReport(rows)},
+				Text:   FormatSpiceMC(rows, e.MC.Samples),
+			}, nil
+		},
+	})
+}
 
 // SpiceMCRow is one (option, size) cell of the SPICE-in-the-loop
 // Monte-Carlo: the distribution of the simulated tdp penalty in percent.

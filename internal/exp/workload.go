@@ -1,0 +1,307 @@
+// The workload registry: every experiment registers one Workload
+// descriptor — name, summary, typed parameter schema, budget hints and a
+// uniform Run function — and every consumer (core.Study.Run, the CLI
+// dispatcher, the smoke tests, RunAll) drives experiments through it.
+// Adding an experiment is one file with an init() registration: the CLI
+// usage text, the flag binding, the smoke coverage and the Study surface
+// all pick it up with zero edits elsewhere.
+package exp
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"mpsram/internal/report"
+)
+
+// ParamKind types a workload parameter.
+type ParamKind int
+
+const (
+	IntParam ParamKind = iota
+	FloatParam
+	BoolParam
+	StringParam
+)
+
+// String names the kind for usage text and error messages.
+func (k ParamKind) String() string {
+	switch k {
+	case IntParam:
+		return "int"
+	case FloatParam:
+		return "float"
+	case BoolParam:
+		return "bool"
+	case StringParam:
+		return "string"
+	default:
+		return fmt.Sprintf("ParamKind(%d)", int(k))
+	}
+}
+
+// ParamSpec declares one typed workload parameter. The CLI binds a flag
+// per spec (default and help straight from here); Study.Run validates the
+// caller's Params map against it.
+type ParamSpec struct {
+	Name    string
+	Kind    ParamKind
+	Default any
+	Help    string
+}
+
+// Params carries per-run workload arguments keyed by ParamSpec name.
+// Values are validated and defaulted by Run before the workload sees
+// them, so accessors inside a workload can assume their declared types.
+type Params map[string]any
+
+// Int returns an integer parameter (post-validation).
+func (p Params) Int(name string) int { return p[name].(int) }
+
+// Float returns a float parameter (post-validation).
+func (p Params) Float(name string) float64 { return p[name].(float64) }
+
+// Bool returns a boolean parameter (post-validation).
+func (p Params) Bool(name string) bool { return p[name].(bool) }
+
+// String returns a string parameter (post-validation).
+func (p Params) String(name string) string { return p[name].(string) }
+
+// Hints carries workload-level budget advice for callers that configure
+// the environment generically (the CLI, smoke harnesses). They are
+// descriptive — Run never applies them behind the caller's back.
+type Hints struct {
+	// Samples is the preferred Monte-Carlo budget when the caller has
+	// not chosen one (0 = no preference). SPICE-in-the-loop workloads
+	// use it to replace the analytic 10k default with an affordable
+	// transient budget.
+	Samples int
+	// Smoke holds tiny-budget parameter overrides for registry-iterating
+	// smoke runs (nil = the schema defaults are already cheap).
+	Smoke Params
+}
+
+// Result is what every workload returns: the typed rows (Data), the
+// tabular view feeding the shared csv/md/json encoders in
+// internal/report, and the paper-style plain-text rendering.
+type Result struct {
+	// Data holds the workload's native typed rows (e.g. []Table1Row) for
+	// programmatic consumers; the deprecated Study convenience methods
+	// are type-asserting shims over it.
+	Data any
+	// Tables is the machine-readable view. Most workloads emit one
+	// table; composite workloads (spicetables, ext, all) emit several.
+	Tables []*report.Table
+	// Text is the paper-style rendering.
+	Text string
+}
+
+// Write renders the result: FormatText prints the paper-style text,
+// every other format goes through the shared report encoders. A workload
+// without a tabular view errors loudly on the machine-readable formats
+// instead of leaking text where a consumer expects JSON/CSV.
+func (r *Result) Write(w io.Writer, f report.Format) error {
+	if f == report.FormatText {
+		_, err := io.WriteString(w, r.Text)
+		return err
+	}
+	if len(r.Tables) == 0 {
+		return fmt.Errorf("exp: result has no tabular view; only text format is available")
+	}
+	return report.WriteTables(w, f, r.Tables...)
+}
+
+// Workload is one registered experiment.
+type Workload struct {
+	// Name is the registry key and CLI command.
+	Name string
+	// Summary is the one-line description shown in the generated usage.
+	Summary string
+	// Order fixes the listing position (paper order first, extensions
+	// after); ties break by name.
+	Order int
+	// InAll marks the workloads the "all" plan runs, in Order.
+	InAll bool
+	// Params is the typed parameter schema. A parameter whose name
+	// matches a global CLI flag (e.g. "n") is fed by that flag rather
+	// than a duplicate binding.
+	Params []ParamSpec
+	// Hints carries budget advice for generic callers.
+	Hints Hints
+	// Run executes the workload under the environment with validated,
+	// defaulted parameters.
+	Run func(ctx context.Context, e Env, p Params) (*Result, error)
+}
+
+var registry = map[string]*Workload{}
+
+// Register adds a workload to the registry; duplicate names, malformed
+// schemas and missing Run functions panic at init time.
+func Register(w Workload) {
+	if w.Name == "" || w.Run == nil {
+		panic(fmt.Sprintf("exp: workload %q missing name or Run", w.Name))
+	}
+	if _, dup := registry[w.Name]; dup {
+		panic(fmt.Sprintf("exp: duplicate workload %q", w.Name))
+	}
+	seen := map[string]bool{}
+	cp := w
+	cp.Params = append([]ParamSpec(nil), w.Params...)
+	for i, ps := range cp.Params {
+		if ps.Name == "" || seen[ps.Name] {
+			panic(fmt.Sprintf("exp: workload %q: empty or duplicate param %q", w.Name, ps.Name))
+		}
+		seen[ps.Name] = true
+		// Normalize the default to its coerced form so every consumer
+		// (the CLI's flag binding included) sees the declared kind's
+		// native type, not whatever spelling the registration used.
+		def, err := coerceParam(ps, ps.Default)
+		if err != nil {
+			panic(fmt.Sprintf("exp: workload %q: default for %s: %v", w.Name, ps.Name, err))
+		}
+		cp.Params[i].Default = def
+	}
+	registry[w.Name] = &cp
+}
+
+// Workloads returns every registered workload in listing order.
+func Workloads() []Workload {
+	out := make([]Workload, 0, len(registry))
+	for _, w := range registry {
+		out = append(out, *w)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Order != out[j].Order {
+			return out[i].Order < out[j].Order
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// WorkloadNames returns the registered names in listing order.
+func WorkloadNames() []string {
+	ws := Workloads()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// LookupWorkload resolves a name; unknown names answer with the registry,
+// the same contract the technology registry uses — CLIs surface it
+// verbatim.
+func LookupWorkload(name string) (Workload, error) {
+	w, ok := registry[name]
+	if !ok {
+		return Workload{}, fmt.Errorf("exp: unknown workload %q (registered: %s)",
+			name, strings.Join(WorkloadNames(), ", "))
+	}
+	return *w, nil
+}
+
+// coerceParam checks one value against a spec, accepting the natural
+// cross-type spellings (ints where floats are declared, integral floats
+// where ints are — what JSON decoding and literal Params maps produce).
+func coerceParam(ps ParamSpec, v any) (any, error) {
+	switch ps.Kind {
+	case IntParam:
+		switch x := v.(type) {
+		case int:
+			return x, nil
+		case int64:
+			return int(x), nil
+		case float64:
+			if x != math.Trunc(x) {
+				return nil, fmt.Errorf("param %s: %v is not an integer", ps.Name, x)
+			}
+			return int(x), nil
+		}
+	case FloatParam:
+		switch x := v.(type) {
+		case float64:
+			return x, nil
+		case float32:
+			return float64(x), nil
+		case int:
+			return float64(x), nil
+		case int64:
+			return float64(x), nil
+		}
+	case BoolParam:
+		if x, ok := v.(bool); ok {
+			return x, nil
+		}
+	case StringParam:
+		if x, ok := v.(string); ok {
+			return x, nil
+		}
+	}
+	return nil, fmt.Errorf("param %s: want %v, got %T", ps.Name, ps.Kind, v)
+}
+
+// resolveParams validates p against the schema and fills defaults.
+// Unknown keys error with the valid parameter names, mirroring the
+// unknown-workload and unknown-process contracts.
+func resolveParams(w Workload, p Params) (Params, error) {
+	out := make(Params, len(w.Params))
+	for _, ps := range w.Params {
+		v, _ := coerceParam(ps, ps.Default)
+		out[ps.Name] = v
+	}
+	for name, v := range p {
+		var spec *ParamSpec
+		for i := range w.Params {
+			if w.Params[i].Name == name {
+				spec = &w.Params[i]
+				break
+			}
+		}
+		if spec == nil {
+			valid := make([]string, len(w.Params))
+			for i, ps := range w.Params {
+				valid[i] = ps.Name
+			}
+			if len(valid) == 0 {
+				return nil, fmt.Errorf("exp: workload %s takes no parameters, got %q", w.Name, name)
+			}
+			return nil, fmt.Errorf("exp: workload %s has no parameter %q (valid: %s)",
+				w.Name, name, strings.Join(valid, ", "))
+		}
+		cv, err := coerceParam(*spec, v)
+		if err != nil {
+			return nil, fmt.Errorf("exp: workload %s: %w", w.Name, err)
+		}
+		out[name] = cv
+	}
+	return out, nil
+}
+
+// Run executes a registered workload by name under the environment:
+// lookup, parameter validation and defaulting, then the workload body
+// with ctx installed as the environment's cancellation context. A nil
+// ctx keeps the environment's own context.
+func Run(ctx context.Context, e Env, name string, p Params) (*Result, error) {
+	w, err := LookupWorkload(name)
+	if err != nil {
+		return nil, err
+	}
+	rp, err := resolveParams(w, p)
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = e.ctx()
+	}
+	e.Ctx = ctx
+	res, err := w.Run(ctx, e, rp)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", name, err)
+	}
+	return res, nil
+}

@@ -224,6 +224,14 @@ func RunVectorState(ctx context.Context, cfg Config, nobs int, f StateVectorFunc
 				}
 				rej := 0
 				for i := lo; i < hi; i++ {
+					// Also honor cancellation inside a block: a
+					// SPICE-in-the-loop run at a sub-block budget would
+					// otherwise only notice SIGINT when it finishes.
+					// Completed runs are unaffected — an abandoned
+					// block is never merged.
+					if ctx.Err() != nil {
+						return
+					}
 					rng.Seed(trialSeed(cfg.Seed, i))
 					if !f(state, rng, out) {
 						rej++

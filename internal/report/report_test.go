@@ -1,6 +1,8 @@
 package report
 
 import (
+	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 )
@@ -66,6 +68,7 @@ func TestParseFormat(t *testing.T) {
 	cases := map[string]Format{
 		"": FormatText, "text": FormatText,
 		"csv": FormatCSV, "md": FormatMarkdown, "markdown": FormatMarkdown,
+		"json": FormatJSON,
 	}
 	for in, want := range cases {
 		got, err := ParseFormat(in)
@@ -89,5 +92,103 @@ func TestWriteDispatch(t *testing.T) {
 	}
 	if err := tb.Write(&b, FormatText); err == nil {
 		t.Fatal("text dispatch must defer to exp formatters")
+	}
+}
+
+// TestJSONRoundTrip is the encoder contract: one row-object per record,
+// keyed by the column names, with numbers preserved as JSON numbers at
+// full float64 precision — decode it back and every typed value survives.
+func TestJSONRoundTrip(t *testing.T) {
+	tb := New("round trip", "name", "count", "sigma_pp", "flag")
+	if err := tb.Appendf("LE3 8nm OL", 64, 2.2734567890123456, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Appendf(`comma, "quote"`, 1024, -0.125, false); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tb.Write(&b, FormatJSON); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Title string           `json:"title"`
+		Rows  []map[string]any `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if got.Title != "round trip" || len(got.Rows) != 2 {
+		t.Fatalf("decoded %+v", got)
+	}
+	r := got.Rows[0]
+	if r["name"] != "LE3 8nm OL" || r["count"] != float64(64) || r["flag"] != true {
+		t.Fatalf("row 0 drifted: %+v", r)
+	}
+	if r["sigma_pp"] != 2.2734567890123456 {
+		t.Fatalf("float lost precision: %v", r["sigma_pp"])
+	}
+	if got.Rows[1]["name"] != `comma, "quote"` {
+		t.Fatalf("string escaping drifted: %q", got.Rows[1]["name"])
+	}
+}
+
+// TestJSONNonFinite pins the non-finite policy: NaN/Inf cells become null
+// so the document always parses.
+func TestJSONNonFinite(t *testing.T) {
+	tb := New("", "v")
+	if err := tb.Appendf(math.NaN()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Appendf(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tb.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Rows []map[string]any `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatalf("non-finite output must stay valid JSON: %v\n%s", err, b.String())
+	}
+	if got.Rows[0]["v"] != nil || got.Rows[1]["v"] != nil {
+		t.Fatalf("non-finite cells must decode as null: %+v", got.Rows)
+	}
+}
+
+// TestWriteTables covers the multi-table path: JSON is always one array
+// of table objects, CSV separates tables with a blank line.
+func TestWriteTables(t *testing.T) {
+	a, b := build(t), build(t)
+	b.Title = "second"
+	var out strings.Builder
+	if err := WriteTables(&out, FormatJSON, a, b); err != nil {
+		t.Fatal(err)
+	}
+	var arr []struct {
+		Title string           `json:"title"`
+		Rows  []map[string]any `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &arr); err != nil {
+		t.Fatalf("tables output invalid: %v\n%s", err, out.String())
+	}
+	if len(arr) != 2 || arr[0].Title != "demo" || arr[1].Title != "second" || len(arr[1].Rows) != 3 {
+		t.Fatalf("decoded %+v", arr)
+	}
+	out.Reset()
+	if err := WriteTables(&out, FormatCSV, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "\n\n# second\n") {
+		t.Fatalf("CSV tables not blank-line separated:\n%s", out.String())
+	}
+	// Append rows mix into JSON as strings (no typed source), still valid.
+	out.Reset()
+	if err := WriteTables(&out, FormatJSON, a); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"name":"plain","value":"1"`) {
+		t.Fatalf("string-appended row drifted:\n%s", out.String())
 	}
 }
