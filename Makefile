@@ -5,7 +5,7 @@ GO ?= go
 
 # Coverage ratchet: CI fails if total -short coverage drops below this.
 # Raise it when coverage grows; never lower it without a written reason.
-COVER_MIN ?= 79.5
+COVER_MIN ?= 79.8
 
 .PHONY: all build test test-race bench bench-smoke fuzz-smoke cover cover-check lint fmt clean
 

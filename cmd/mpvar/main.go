@@ -19,9 +19,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/signal"
 	"sync"
+	"syscall"
+	"time"
 
 	"mpsram/internal/core"
 	"mpsram/internal/exp"
@@ -29,6 +32,7 @@ import (
 	"mpsram/internal/litho"
 	"mpsram/internal/mc"
 	"mpsram/internal/report"
+	"mpsram/internal/serve"
 	"mpsram/internal/sram"
 )
 
@@ -95,7 +99,7 @@ workloads (from the registry; 'mpvar help <workload>' shows its parameters):
 		fmt.Fprintf(w, "  %-12s %s\n", wl.Name, wl.Summary)
 	}
 	fmt.Fprintf(w, "\nutilities:\n")
-	for _, u := range []string{"gds", "deck", "help"} {
+	for _, u := range []string{"gds", "deck", "serve", "help"} {
 		fmt.Fprintf(w, "  %-12s %s\n", u, utilities[u])
 	}
 	fmt.Fprintf(w, "\nflags:\n")
@@ -107,9 +111,10 @@ workloads (from the registry; 'mpvar help <workload>' shows its parameters):
 // kept out of the workload registry because they emit raw formats, not
 // tabular results.
 var utilities = map[string]string{
-	"gds":  "dump the 6T cell layout as GDS text (text only; honors -process)",
-	"deck": "dump a column SPICE deck (text only; honors -process and -n)",
-	"help": "describe a workload and its parameters",
+	"gds":   "dump the 6T cell layout as GDS text (text only; honors -process)",
+	"deck":  "dump a column SPICE deck (text only; honors -process and -n)",
+	"serve": "serve the registry over HTTP/JSON with a deterministic result cache (see API.md)",
+	"help":  "describe a workload and its parameters",
 }
 
 // helpWorkload renders one workload's self-description; the static
@@ -159,6 +164,10 @@ func main() {
 		os.Exit(2)
 	}
 	name := fs1.Arg(0)
+	if name == "serve" {
+		serveMain(fs1.Args()[1:])
+		return
+	}
 	if name == "help" {
 		if fs1.NArg() < 2 {
 			usage(fs1, os.Stdout)
@@ -327,6 +336,49 @@ func main() {
 	res, err := study.Run(name, params)
 	check(err)
 	check(res.Write(os.Stdout, format))
+}
+
+// serveMain runs `mpvar serve`: the HTTP/JSON API over the workload
+// registry with the content-addressed result cache (internal/serve; wire
+// contract in API.md). The bound address is printed to stdout — with
+// `-addr :0` that is how scripts learn the picked port — and
+// SIGTERM/SIGINT trigger a graceful drain: no new runs, every queued and
+// in-flight run finishes, then the process exits 0.
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("mpvar serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8177", "listen address (host:port; port 0 picks a free port)")
+	workers := fs.Int("workers", 2, "executor pool size: runs executing concurrently")
+	maxQueue := fs.Int("max-queue", 32, "queued runs beyond the pool before submissions shed with 429")
+	cacheSize := fs.Int("cache-size", 256, "content-addressed result cache bound (rendered bodies, LRU)")
+	runTimeout := fs.Duration("run-timeout", 15*time.Minute, "per-run wall-clock budget")
+	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown budget before in-flight runs are canceled")
+	engineWorkers := fs.Int("engine-workers", 0, "worker count inside each run's engines (0 = all CPUs; never changes results)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mpvar serve [flags]\n\nserve the workload registry over HTTP/JSON (endpoints in API.md)\n\nflags:\n")
+		fs.SetOutput(os.Stderr)
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if fs.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected argument %q after serve", fs.Arg(0)))
+	}
+	srv := serve.New(serve.Config{
+		Workers:       *workers,
+		MaxQueue:      *maxQueue,
+		CacheSize:     *cacheSize,
+		RunTimeout:    *runTimeout,
+		DrainTimeout:  *drainTimeout,
+		EngineWorkers: *engineWorkers,
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := srv.ListenAndServe(ctx, *addr, func(a net.Addr) {
+		fmt.Printf("mpvar serve: listening on http://%s\n", a)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "mpvar serve: drained cleanly")
 }
 
 // progressPrinter returns a concurrency-safe progress callback shared by

@@ -65,6 +65,31 @@
 // over Run — same signatures, byte-identical results; the shim set is
 // frozen and new experiments appear only as workloads.
 //
+// The registry has a network face (internal/serve, `mpvar serve`): an
+// HTTP/JSON service whose four endpoints — workload listing with typed
+// schemas, schema-validated run submission, result/status fetch, and an
+// SSE progress stream riding the engines' serialized callbacks — are
+// generated from the same Workload descriptors as the CLI, so the wire
+// surface cannot drift from the in-process one. Its result cache leans
+// on the repo's central invariant: every run is bit-deterministic in
+// (workload, params, seed, samples, process, PRNG stream, engine
+// version), so that tuple's canonical SHA-256 (core.RunSpec.Key — after
+// normalization: schema defaults filled, process names case-folded,
+// zero seed/samples resolved to the paper seed and the workload's
+// budget hint) is simultaneously the run id, the single-flight identity
+// that coalesces identical concurrent submissions into one execution,
+// and the address in a bounded LRU of rendered result bodies. Equal
+// keys imply byte-identical responses — cache disposition and timing
+// travel in X-Mpvar-* headers, never in the body — and worker counts
+// stay out of the key because determinism is independent of them.
+// Heavy-traffic control is a bounded executor pool over a depth-limited
+// queue (submissions beyond it shed with 429), per-run wall-clock
+// timeouts on top of the registry's sample-budget hints, and a SIGTERM
+// drain that refuses new work while every queued and in-flight run
+// finishes. core.EngineVersion is part of the key: bump it when a
+// numerics change regenerates the goldens, and every stale cache entry
+// retires at once. API.md documents the wire contract.
+//
 // The benchmark harness in bench_test.go regenerates every table and
 // figure of the paper's evaluation section; run
 //

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mpsram/internal/exp"
+)
+
+func key(t *testing.T, s RunSpec) string {
+	t.Helper()
+	k, err := s.Key()
+	if err != nil {
+		t.Fatalf("Key(%+v): %v", s, err)
+	}
+	return k
+}
+
+// TestRunSpecNormalizeDefaults pins the zero-value semantics: empty
+// process → the N10 preset, seed 0 → the paper seed, samples 0 → the
+// workload's budget hint (or the analytic default), params → the schema
+// defaults.
+func TestRunSpecNormalizeDefaults(t *testing.T) {
+	n, err := RunSpec{Workload: "mcspice"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Process != "N10" || n.Seed != DefaultSeed || n.Samples != 200 {
+		t.Fatalf("defaults drifted: %+v", n)
+	}
+	if n.Params.Int("n") != 64 || n.Params.String("sizes") != "" {
+		t.Fatalf("params not default-filled: %v", n.Params)
+	}
+	// A workload without a Samples hint adopts the analytic default.
+	n, err = RunSpec{Workload: "table4"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Samples != DefaultSamples {
+		t.Fatalf("hintless budget drifted: %d", n.Samples)
+	}
+}
+
+// TestRunSpecKeyCanonicalization is the cache-entry-splitting regression
+// test: every spelling of the same run — omitted defaults, explicit
+// defaults, JSON float64 integers, padded or case-folded process names —
+// must hash to one key, and every field that changes results must change
+// it.
+func TestRunSpecKeyCanonicalization(t *testing.T) {
+	base := key(t, RunSpec{Workload: "mcspice"})
+	same := []RunSpec{
+		{Workload: "mcspice", Params: exp.Params{"n": 64}},
+		{Workload: "mcspice", Params: exp.Params{"n": float64(64), "sizes": ""}},
+		{Workload: "mcspice", Seed: DefaultSeed},
+		{Workload: "mcspice", Samples: 200}, // the hint, spelled out
+		{Workload: "mcspice", Process: " n10 "},
+		{Workload: " mcspice ", Process: "N10"},
+	}
+	for _, s := range same {
+		if k := key(t, s); k != base {
+			t.Errorf("spec %+v split the cache entry: %s != %s", s, k, base)
+		}
+	}
+	different := []RunSpec{
+		{Workload: "mcspice", Params: exp.Params{"n": 65}},
+		{Workload: "mcspice", Seed: 1},
+		{Workload: "mcspice", Samples: 100},
+		{Workload: "mcspice", FastSeed: true},
+		{Workload: "mcspice", Process: "N7"},
+		{Workload: "mcspicex"},
+	}
+	seen := map[string]bool{base: true}
+	for _, s := range different {
+		k := key(t, s)
+		if seen[k] {
+			t.Errorf("spec %+v collided: %s", s, k)
+		}
+		seen[k] = true
+	}
+}
+
+// TestRunSpecKeyErrors: the registries' valid-names texts surface
+// through Normalize/Key so HTTP handlers can return them verbatim.
+func TestRunSpecKeyErrors(t *testing.T) {
+	if _, err := (RunSpec{Workload: "nope"}).Key(); err == nil ||
+		!strings.Contains(err.Error(), "registered:") {
+		t.Fatalf("unknown workload: %v", err)
+	}
+	if _, err := (RunSpec{Workload: "table1", Process: "N3"}).Key(); err == nil ||
+		!strings.Contains(err.Error(), "N10") {
+		t.Fatalf("unknown process must list the registry: %v", err)
+	}
+	if _, err := (RunSpec{Workload: "fig5", Params: exp.Params{"bogus": 1}}).Key(); err == nil ||
+		!strings.Contains(err.Error(), "valid: n, ol") {
+		t.Fatalf("unknown param must list the schema: %v", err)
+	}
+}
+
+// TestRunSpecRun executes a cheap workload through the spec path and
+// checks the configured environment actually reaches the study.
+func TestRunSpecRun(t *testing.T) {
+	res, err := RunSpec{Workload: "fig3"}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) == 0 || len(res.Text) == 0 {
+		t.Fatalf("fig3 result empty: %+v", res)
+	}
+	study, err := RunSpec{Workload: "table1", Process: "n7", Seed: 7, Samples: 5}.NewStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.Env.Proc.Name != "N7" || study.Env.MC.Seed != 7 || study.Env.MC.Samples != 5 {
+		t.Fatalf("spec did not reach the study env: proc=%s mc=%+v", study.Env.Proc.Name, study.Env.MC)
+	}
+}

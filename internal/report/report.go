@@ -6,6 +6,7 @@
 package report
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -267,4 +268,17 @@ func WriteTables(w io.Writer, f Format, tables ...*Table) error {
 		}
 	}
 	return nil
+}
+
+// EncodeTables is WriteTables into one byte slice — the reusable result
+// envelope for consumers that hash, cache or re-serve rendered results
+// (internal/serve embeds the JSON form verbatim in its run bodies). The
+// bytes are deterministic for deterministic table contents: equal tables
+// encode byte-identically.
+func EncodeTables(f Format, tables ...*Table) ([]byte, error) {
+	var b bytes.Buffer
+	if err := WriteTables(&b, f, tables...); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
 }

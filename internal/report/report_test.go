@@ -192,3 +192,34 @@ func TestWriteTables(t *testing.T) {
 		t.Fatalf("string-appended row drifted:\n%s", out.String())
 	}
 }
+
+// TestEncodeTables: the byte-slice envelope matches WriteTables exactly
+// and is deterministic across calls — the property the serve layer's
+// content-addressed cache (byte-identical hit vs cold) relies on.
+func TestEncodeTables(t *testing.T) {
+	mk := func() *Table {
+		tb := New("enc", "k", "v")
+		_ = tb.Appendf("a", 1.25)
+		_ = tb.Appendf("b", 2)
+		return tb
+	}
+	got, err := EncodeTables(FormatJSON, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	if err := WriteTables(&want, FormatJSON, mk()); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want.String() {
+		t.Fatalf("EncodeTables != WriteTables:\n%q\n%q", got, want.String())
+	}
+	again, err := EncodeTables(FormatJSON, mk())
+	if err != nil || string(again) != string(got) {
+		t.Fatalf("EncodeTables not deterministic: %v\n%q\n%q", err, again, got)
+	}
+	var arr []any
+	if err := json.Unmarshal(got, &arr); err != nil || len(arr) != 1 {
+		t.Fatalf("envelope not a one-table JSON array: %v\n%s", err, got)
+	}
+}

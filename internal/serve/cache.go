@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the content-addressed result store: run key (the
+// SHA-256 of core.RunSpec's canonical rendering) to the fully rendered
+// JSON response body. Because equal keys guarantee byte-identical
+// results, storing rendered bytes is lossless — a hit is served exactly
+// as the cold run was, header-for-header comparable — and an LRU bound
+// keeps a long-running server's memory flat under millions of distinct
+// queries.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached body for key, promoting it to most recent.
+func (c *resultCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Add stores body under key, evicting least-recently-used entries beyond
+// the bound. Re-adding an existing key refreshes its recency; the body
+// is identical by construction (equal keys ⇒ byte-identical results).
+func (c *resultCache) Add(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	for c.order.Len() > c.max {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of cached results.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,446 @@
+// Package serve exposes the workload registry as a long-running
+// HTTP/JSON service — the network face of core.Study.Run, built for
+// heavy repeated traffic:
+//
+//	GET  /v1/workloads        the registry: names, summaries, typed
+//	                          parameter schemas, budget hints
+//	POST /v1/runs             submit a run (schema-validated); waits for
+//	                          the result by default, ?wait=0 returns the
+//	                          run id immediately
+//	GET  /v1/runs/{id}        result body (cache) or live status
+//	GET  /v1/runs/{id}/events SSE progress stream riding the engines'
+//	                          serialized progress callbacks
+//	GET  /v1/healthz          liveness, drain state and counters
+//
+// Every run is bit-deterministic in (workload, params, seed, samples,
+// process, PRNG stream, engine version) — that tuple's SHA-256
+// (core.RunSpec.Key) is the run id, the single-flight identity and the
+// result cache address, so a repeated query costs a map lookup instead
+// of seconds-to-minutes of SPICE transients, identical concurrent
+// submissions share one execution, and a cached response is
+// byte-identical to the cold one (cache status and timing travel in
+// X-Mpvar-* headers, never in the body).
+//
+// The heavy-traffic controls: a bounded executor pool (Workers) pulls
+// runs off a depth-limited queue (MaxQueue) — beyond it submissions shed
+// with 429 + Retry-After instead of piling up — each run gets a
+// wall-clock budget (RunTimeout) on top of the sample budget its
+// workload's Hints advise, and Drain (wired to SIGTERM by `mpvar
+// serve`) refuses new work with 503 while letting every queued and
+// in-flight run finish. See API.md for the wire contract.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"mpsram/internal/core"
+	"mpsram/internal/exp"
+)
+
+// Config sizes the service. Zero values take the defaults noted on each
+// field.
+type Config struct {
+	// Workers is the executor pool size: how many runs execute
+	// concurrently (default 2). Each executor drives a full study, which
+	// parallelizes internally per EngineWorkers.
+	Workers int
+	// MaxQueue bounds the runs queued behind the pool; submissions
+	// beyond it shed with 429 (default 32).
+	MaxQueue int
+	// CacheSize bounds the content-addressed result cache, in rendered
+	// result bodies, evicted LRU (default 256).
+	CacheSize int
+	// RunTimeout is the per-run wall-clock budget; a run exceeding it is
+	// canceled between trial blocks / transients and reported as an
+	// error to its waiters (default 15 minutes).
+	RunTimeout time.Duration
+	// EngineWorkers is the worker count handed to the Monte-Carlo and
+	// SPICE engines inside each run (0 = all CPUs). Results are
+	// bit-identical for any value — it is not part of the run key.
+	EngineWorkers int
+	// DrainTimeout bounds ListenAndServe's graceful shutdown; past it,
+	// in-flight runs are hard-canceled (default 2 minutes).
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 32
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.RunTimeout <= 0 {
+		c.RunTimeout = 15 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 2 * time.Minute
+	}
+	return c
+}
+
+// Server is the service state: the result cache, the in-flight run
+// table and the executor pool.
+type Server struct {
+	cfg   Config
+	cache *resultCache
+
+	mu       sync.Mutex
+	inflight map[string]*run
+	draining bool
+	queue    chan *run
+
+	workers sync.WaitGroup
+	baseCtx context.Context
+	stop    context.CancelFunc
+}
+
+// New builds a Server and starts its executor pool. Call Drain to stop.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		cache:    newResultCache(cfg.CacheSize),
+		inflight: make(map[string]*run),
+		queue:    make(chan *run, cfg.MaxQueue),
+	}
+	s.baseCtx, s.stop = context.WithCancel(context.Background())
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleRun)
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return mux
+}
+
+// errorEnvelope is the uniform error body: one "error" field whose text
+// is the underlying registry/validation error verbatim (unknown
+// workloads, parameters and processes all answer with their valid-names
+// listings).
+type errorEnvelope struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Unreachable for the envelope types; keep the wire valid anyway.
+		b = []byte(`{"error":"encoding failure"}`)
+	}
+	w.Write(append(b, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorEnvelope{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeBody serves a rendered result body with its cache disposition.
+func writeBody(w http.ResponseWriter, cache string, started time.Time, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Mpvar-Cache", cache)
+	w.Header().Set("X-Mpvar-Elapsed-Ms", elapsedMS(time.Since(started)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// ------------------------------------------------------------ workloads
+
+// workloadJSON is the wire form of one registry entry.
+type workloadJSON struct {
+	Name    string      `json:"name"`
+	Summary string      `json:"summary"`
+	InAll   bool        `json:"in_all"`
+	Params  []paramJSON `json:"params"`
+	Hints   hintsJSON   `json:"hints"`
+}
+
+type paramJSON struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"`
+	Default any    `json:"default"`
+	Help    string `json:"help"`
+}
+
+type hintsJSON struct {
+	Samples int            `json:"samples"`
+	Smoke   map[string]any `json:"smoke,omitempty"`
+}
+
+// handleWorkloads serves the registry listing — generated from the same
+// descriptors the CLI usage and Study.Run validation use, so the three
+// surfaces cannot drift apart.
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	ws := exp.Workloads()
+	out := struct {
+		Engine    string         `json:"engine"`
+		Processes []string       `json:"processes"`
+		Workloads []workloadJSON `json:"workloads"`
+	}{Engine: core.EngineVersion, Processes: core.ProcessNames()}
+	for _, wl := range ws {
+		wj := workloadJSON{
+			Name:    wl.Name,
+			Summary: wl.Summary,
+			InAll:   wl.InAll,
+			Params:  []paramJSON{},
+			Hints:   hintsJSON{Samples: wl.Hints.Samples, Smoke: wl.Hints.Smoke},
+		}
+		for _, ps := range wl.Params {
+			wj.Params = append(wj.Params, paramJSON{
+				Name: ps.Name, Kind: ps.Kind.String(), Default: ps.Default, Help: ps.Help,
+			})
+		}
+		out.Workloads = append(out.Workloads, wj)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ------------------------------------------------------------ submit
+
+// runRequest is the POST /v1/runs body. Unknown fields are rejected so a
+// misspelled "samples" degrades to 400, not to a silent default budget.
+type runRequest struct {
+	Workload string         `json:"workload"`
+	Params   map[string]any `json:"params"`
+	Process  string         `json:"process"`
+	Seed     int64          `json:"seed"`
+	Samples  int            `json:"samples"`
+	FastSeed bool           `json:"fastseed"`
+}
+
+// statusEnvelope reports an in-flight run.
+type statusEnvelope struct {
+	ID       string         `json:"id"`
+	Status   runStatus      `json:"status"`
+	Workload string         `json:"workload"`
+	Progress *progressPoint `json:"progress,omitempty"`
+}
+
+func statusOf(r *run) statusEnvelope {
+	st, p := r.snapshot()
+	env := statusEnvelope{ID: r.key, Status: st, Workload: r.spec.Workload}
+	if p.Total > 0 {
+		env.Progress = &p
+	}
+	return env
+}
+
+// handleSubmit validates, content-addresses and executes (or coalesces,
+// or sheds) one run submission.
+func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	started := time.Now()
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	var rr runRequest
+	if err := dec.Decode(&rr); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	spec, err := core.RunSpec{
+		Workload: rr.Workload,
+		Params:   exp.Params(rr.Params),
+		Process:  rr.Process,
+		Seed:     rr.Seed,
+		Samples:  rr.Samples,
+		FastSeed: rr.FastSeed,
+	}.Normalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key, err := spec.Key()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if body, ok := s.cache.Get(key); ok {
+		writeBody(w, "hit", started, body)
+		return
+	}
+	r, outcome := s.submit(key, spec)
+	switch outcome {
+	case submitShed:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"run queue full (%d queued); retry shortly", s.cfg.MaxQueue)
+		return
+	case submitDraining:
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "server is draining; not accepting new runs")
+		return
+	}
+	if req.URL.Query().Get("wait") == "0" {
+		writeJSON(w, http.StatusAccepted, statusOf(r))
+		return
+	}
+	select {
+	case <-r.done:
+	case <-req.Context().Done():
+		// The client went away; the run keeps executing and lands in the
+		// cache for its next submission.
+		return
+	}
+	if r.err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", r.err)
+		return
+	}
+	writeBody(w, "miss", started, r.body)
+}
+
+// ------------------------------------------------------------ run fetch
+
+// handleRun serves a finished run from the cache (byte-identical to the
+// submission response) or the live status of an in-flight one. Failed
+// runs are not retained — their waiters got the error — so an unknown id
+// is simply 404.
+func (s *Server) handleRun(w http.ResponseWriter, req *http.Request) {
+	started := time.Now()
+	id := req.PathValue("id")
+	if body, ok := s.cache.Get(id); ok {
+		writeBody(w, "hit", started, body)
+		return
+	}
+	s.mu.Lock()
+	r, ok := s.inflight[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown run %q (finished-and-evicted, failed, or never submitted)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, statusOf(r))
+}
+
+// ------------------------------------------------------------ SSE
+
+// sseEvent writes one Server-Sent Event frame.
+func sseEvent(w http.ResponseWriter, f http.Flusher, event string, data any) {
+	b, _ := json.Marshal(data)
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+	f.Flush()
+}
+
+// handleEvents streams a run's lifecycle as SSE: an initial "status"
+// frame, "progress" frames riding the engines' serialized callbacks, and
+// a terminal "done" or "error" frame. Subscribing to an already-cached
+// run answers "done" immediately.
+func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	f, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	s.mu.Lock()
+	r, inflight := s.inflight[id]
+	s.mu.Unlock()
+	_, cached := s.cache.Get(id)
+	if !inflight && !cached {
+		writeError(w, http.StatusNotFound, "unknown run %q", id)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	if !inflight {
+		sseEvent(w, f, "done", statusEnvelope{ID: id, Status: statusDone})
+		return
+	}
+	sub := r.subscribe()
+	defer r.unsubscribe(sub)
+	sseEvent(w, f, "status", statusOf(r))
+	for {
+		select {
+		case p := <-sub:
+			sseEvent(w, f, "progress", p)
+		case <-r.done:
+			if r.err != nil {
+				sseEvent(w, f, "error", errorEnvelope{Error: r.err.Error()})
+			} else {
+				sseEvent(w, f, "done", statusEnvelope{ID: r.key, Status: statusDone, Workload: r.spec.Workload})
+			}
+			return
+		case <-req.Context().Done():
+			return
+		}
+	}
+}
+
+// ------------------------------------------------------------ health
+
+// handleHealthz reports liveness and the load counters an operator (or a
+// drain test) wants: accepting vs draining, in-flight runs, cache fill.
+func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	s.mu.Lock()
+	inflight := len(s.inflight)
+	draining := s.draining
+	s.mu.Unlock()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status   string `json:"status"`
+		Engine   string `json:"engine"`
+		Inflight int    `json:"inflight"`
+		Cached   int    `json:"cached"`
+		Workers  int    `json:"workers"`
+		MaxQueue int    `json:"max_queue"`
+	}{status, core.EngineVersion, inflight, s.cache.Len(), s.cfg.Workers, s.cfg.MaxQueue})
+}
+
+// ------------------------------------------------------------ serving
+
+// ListenAndServe binds addr (":0" picks a free port), reports the bound
+// address through ready, and serves until ctx cancels — then shuts down
+// gracefully: the listener closes, in-flight HTTP requests and SSE
+// streams finish as their runs complete, queued and running runs drain
+// to completion (bounded by DrainTimeout, past which they are
+// hard-canceled). The CLI wires SIGTERM/SIGINT to the ctx.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, ready func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Refuse new runs first so requests still in flight on kept-alive
+	// connections answer 503 instead of queueing work mid-shutdown.
+	s.beginDrain()
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		hs.Close()
+	}
+	return s.Drain(dctx)
+}
