@@ -5,7 +5,7 @@ GO ?= go
 
 # Coverage ratchet: CI fails if total -short coverage drops below this.
 # Raise it when coverage grows; never lower it without a written reason.
-COVER_MIN ?= 79.8
+COVER_MIN ?= 80.0
 
 .PHONY: all build test test-race bench bench-smoke fuzz-smoke cover cover-check lint fmt clean
 
@@ -33,10 +33,13 @@ bench-smoke:
 # Fuzz smoke: ten seconds per target. FuzzNetlistReset proves
 # spice.Engine.Reset stays bit-identical to a fresh engine under random
 # topology-stable netlist mutations; FuzzP2Quantile checks the P² sketch
-# (and its deterministic Merge) against exact quantiles on random streams.
+# (and its deterministic Merge) against exact quantiles on random streams;
+# FuzzControlVariate checks the paired-moment accumulator (β̂, ρ̂, residual
+# variance and its split-anywhere Merge) against exact two-pass statistics.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzNetlistReset' -fuzztime 10s ./internal/spice
 	$(GO) test -run '^$$' -fuzz 'FuzzP2Quantile' -fuzztime 10s ./internal/stats
+	$(GO) test -run '^$$' -fuzz 'FuzzControlVariate' -fuzztime 10s ./internal/stats
 
 # Coverage over the -short suite (the fast deterministic core).
 cover:

@@ -830,3 +830,77 @@ func BenchmarkSpiceMC(b *testing.B) {
 		})
 	})
 }
+
+// BenchmarkSpiceMCCV prices the control-variate estimator against the
+// plain SPICE-MC estimator: both arms run the same paired draw budget of
+// full read transients, but the cv arm also evaluates the closed-form
+// formula on each trial's extracted ratios and reports the measured
+// variance-reduction factor and the effective (plain-estimator) draw
+// count the paired stream is worth. σ-per-CPU-second is eff_draws/op
+// divided by ns/op: at ρ ≈ 0.99 the paired stream buys ~50–100× the
+// plain estimator's statistical power for ~1× the transient cost, which
+// is the whole economic case for the estimator (see EXPERIMENTS.md).
+func BenchmarkSpiceMCCV(b *testing.B) {
+	e := env(b)
+	const size = 16
+	cfg := e.MC
+	cfg.Samples = 8
+	p, cm, o := e.Proc, e.Cap, litho.EUV
+	m, err := e.Model()
+	if err != nil {
+		b.Fatal(err)
+	}
+	seedBuilder := sram.NewColumnBuilder(p, cm)
+	nom, err := seedBuilder.Nominal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	nomTd, err := seedBuilder.NominalTds([]int{size}, e.Build, e.Sim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			vr, err := mc.SpiceTdpAcrossSizesShared(ctx, p, o, cm, []int{size}, nom, nomTd, e.Build, e.Sim, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(vr.Stats[0].N()), "eff_draws")
+			}
+		}
+	})
+	b.Run("cv", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cvr, err := mc.SpiceTdpCVAcrossSizesShared(ctx, p, o, m, cm, []int{size}, nom, nomTd, e.Build, e.Sim, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				s := cvr.CVSummary(0, 0, 1)
+				b.ReportMetric(s.VarReduction, "vr_factor")
+				b.ReportMetric(s.EffectiveN, "eff_draws")
+			}
+		}
+	})
+	b.Run("cv-adaptive", func(b *testing.B) {
+		sopt := e.Sim
+		sopt.Adaptive = true
+		adTd, err := seedBuilder.NominalTds([]int{size}, e.Build, sopt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			cvr, err := mc.SpiceTdpCVAcrossSizesShared(ctx, p, o, m, cm, []int{size}, nom, adTd, e.Build, sopt, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				s := cvr.CVSummary(0, 0, 1)
+				b.ReportMetric(s.VarReduction, "vr_factor")
+				b.ReportMetric(s.EffectiveN, "eff_draws")
+			}
+		}
+	})
+}

@@ -65,6 +65,34 @@
 // over Run — same signatures, byte-identical results; the shim set is
 // frozen and new experiments appear only as workloads.
 //
+// SPICE-in-the-loop draws are priced down by a paired estimator
+// (stats.ControlVariate, mc.RunVectorPaired): each trial measures tdp
+// twice on the same deviates — the full read transient and the paper's
+// closed-form formula — and a streaming paired-moment accumulator
+// (Welford moments on both observables plus their co-moment, merged
+// block-deterministically like every other accumulator, fuzzed in
+// FuzzControlVariate) regresses the expensive observable on the cheap
+// one. The corrected estimate ȳ − β̂(x̄ − μX) replaces the control's
+// sampling noise with its exact reference moments from a large analytic
+// stream, cutting the variance by 1/(1 − ρ̂²); with ρ̂ ≈ 0.99 measured
+// across the DOE, tens of paired draws buy the statistical power of
+// thousands of plain ones (BenchmarkSpiceMCCV pins σ-per-CPU-second).
+// β̂ is trustworthy exactly when the regression is: it needs enough
+// paired draws for cov/var to stabilize (the reported ρ̂ and the
+// variance-reduction factor are the diagnostics — a VR barely above 1
+// means the correction is noise), a control that is genuinely computed
+// from the same deviates as the primary, and reference moments from a
+// stream matching the control's true distribution; degenerate inputs
+// (n < 2, a flat control) collapse β̂ to 0 and the estimator to the
+// plain mean. The estimator changes no sampling: the SPICE stream is
+// bitwise identical to the unpaired path, so cv is an estimator mode,
+// not a new experiment, and it is part of the run's cache identity.
+// Orthogonally, sram.SimOptions.Adaptive swaps the fixed-step transient
+// for an LTE-controlled step-doubling integrator (~7× fewer steps,
+// gated against fixed-step across the full DOE to 0.5% on td and 1% on
+// σ; sram.SimOptions.LTETol loosens it at your own risk — the gate test
+// demonstrates 20 mV tolerance tripping it).
+//
 // The registry has a network face (internal/serve, `mpvar serve`): an
 // HTTP/JSON service whose four endpoints — workload listing with typed
 // schemas, schema-validated run submission, result/status fetch, and an

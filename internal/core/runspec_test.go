@@ -69,6 +69,21 @@ func TestRunSpecKeyCanonicalization(t *testing.T) {
 		{Workload: "mcspice", Process: "N7"},
 		{Workload: "mcspicex"},
 	}
+	// Estimator mode is part of the cache identity: the cv/adaptive
+	// params change the computation (paired estimator, adaptive
+	// integrator), so identical sampling with a different estimator must
+	// never alias a cached plain-estimator body.
+	for _, est := range []exp.Params{
+		{"cv": true},
+		{"adaptive": true},
+		{"cv": true, "adaptive": true},
+	} {
+		different = append(different, RunSpec{Workload: "mcspice", Params: est})
+	}
+	// And spelling the defaults out loud does not split the entry.
+	if k := key(t, RunSpec{Workload: "mcspice", Params: exp.Params{"cv": false, "adaptive": false}}); k != base {
+		t.Errorf("explicit default estimator split the cache entry: %s != %s", k, base)
+	}
 	seen := map[string]bool{base: true}
 	for _, s := range different {
 		k := key(t, s)

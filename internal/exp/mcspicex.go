@@ -27,16 +27,38 @@ func init() {
 	Register(Workload{
 		Name: "mcspicex", Summary: "SPICE-measured vs analytic tdp sigma across the array DOE (full-DOE SPICE-MC)",
 		Order: 115,
-		Params: []ParamSpec{{Name: "sizes", Kind: StringParam, Default: "16,64,256,1024",
-			Help: "comma-separated array word-line counts"}},
+		Params: []ParamSpec{
+			{Name: "sizes", Kind: StringParam, Default: "16,64,256,1024",
+				Help: "comma-separated array word-line counts"},
+			{Name: "cv", Kind: BoolParam, Default: false,
+				Help: "control-variate estimator: one paired SPICE+formula stream instead of two parallel streams"},
+			{Name: "adaptive", Kind: BoolParam, Default: false,
+				Help: "adaptive step-doubling transient integrator (accuracy-gated, ~7× fewer steps)"},
+		},
 		// Transient budget: Samples × sizes per option. 120 draws keeps
 		// the full DOE in SPICE-MC territory (~minutes, not hours); the
-		// smoke override trims the DOE to the two smallest arrays.
-		Hints: Hints{Samples: 120, Smoke: Params{"sizes": "8,16"}},
+		// smoke override trims the DOE to the two smallest arrays. With
+		// -cv the paired estimator's variance reduction makes ~16 draws
+		// comparable.
+		Hints: Hints{Samples: 120, CVSamples: 16, Smoke: Params{"sizes": "8,16"}},
 		Run: func(ctx context.Context, e Env, p Params) (*Result, error) {
 			sizes, err := ParseSizes(p.String("sizes"))
 			if err != nil {
 				return nil, err
+			}
+			if p.Bool("adaptive") {
+				e.Sim.Adaptive = true
+			}
+			if p.Bool("cv") {
+				rows, err := SpiceMCCV(e, sizes)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{
+					Data:   rows,
+					Tables: []*report.Table{SpiceMCCVReport(rows)},
+					Text:   FormatSpiceMCCV(rows, e.MC.Samples),
+				}, nil
 			}
 			rows, err := MCSpiceX(e, sizes)
 			if err != nil {

@@ -80,6 +80,12 @@ type Hints struct {
 	// use it to replace the analytic 10k default with an affordable
 	// transient budget.
 	Samples int
+	// CVSamples is the advised budget when the workload runs with its
+	// control-variate estimator (`cv` param): each paired draw carries
+	// ~1/(1−ρ̂²) plain draws' worth of statistical power, so far fewer
+	// transients reach the same standard error. 0 = the workload has no
+	// cv mode or no separate advice. Like Samples, purely descriptive.
+	CVSamples int
 	// Smoke holds tiny-budget parameter overrides for registry-iterating
 	// smoke runs (nil = the schema defaults are already cheap).
 	Smoke Params

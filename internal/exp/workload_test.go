@@ -39,7 +39,8 @@ func TestRegistryListing(t *testing.T) {
 	for _, want := range []string{
 		"table1", "fig2", "fig3", "fig4", "table2", "table3", "spicetables",
 		"fig5", "table4", "table4x", "table4xp", "nodes", "mcspice",
-		"mcspicex", "snm", "sens", "ext", "processes", "workloads", "all",
+		"mcspicex", "mcspicenodes", "snm", "sens", "ext", "processes",
+		"workloads", "all",
 	} {
 		if _, ok := names[want]; !ok {
 			t.Errorf("workload %q not registered", want)

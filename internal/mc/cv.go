@@ -1,0 +1,207 @@
+// The paired (control-variate) Monte-Carlo path: every trial evaluates an
+// expensive primary observable and a cheap correlated control on the same
+// PRNG draw, and the engine aggregates the pair through streaming
+// stats.ControlVariate accumulators — per fixed-size block, merged in
+// block order, so the paired moments (and everything derived from them:
+// β̂, ρ̂, the corrected mean/σ, the measured variance-reduction factor)
+// are bit-identical for any worker count, exactly like the plain path.
+package mc
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"mpsram/internal/stats"
+)
+
+// PairedStateVectorFunc evaluates one paired Monte-Carlo trial: it writes
+// the primary observable (e.g. SPICE-measured tdp) into y[j] and the
+// control observable (e.g. the closed-form tdp formula on the same draw)
+// into x[j] for each of the nobs observables. Returning false rejects the
+// trial. The slices are reused across trials by the same worker and must
+// not be retained.
+type PairedStateVectorFunc func(state any, rng *rand.Rand, y, x []float64) bool
+
+// CVVectorResult aggregates a paired multi-observable run. The embedded
+// VectorResult views the primary observable (Stats, Quantiles, Summary —
+// byte-compatible with a plain run over the same primary stream), while
+// CV carries the paired moments the control-variate estimators need.
+type CVVectorResult struct {
+	VectorResult
+	// CV holds one paired accumulator per observable, merged in the same
+	// deterministic block order as Stats.
+	CV []stats.ControlVariate
+}
+
+// CVSummary reports the control-variate view of one observable.
+type CVSummary struct {
+	// Plain is the uncorrected summary of the primary observable over the
+	// paired stream (streaming moments + P² order statistics).
+	Plain stats.Summary
+	// Mean and Std are the corrected estimates anchored on the control's
+	// reference moments (muX, sigmaX).
+	Mean, Std float64
+	// Beta and Rho are the regression coefficient and correlation
+	// estimated from the paired stream.
+	Beta, Rho float64
+	// VarReduction is the measured factor 1/(1−ρ̂²); EffectiveN is the
+	// plain-estimator sample count the paired stream is worth.
+	VarReduction float64
+	EffectiveN   float64
+}
+
+// CVSummary derives the control-variate summary of observable i given the
+// control's reference moments (muX, sigmaX) from a high-precision cheap
+// stream.
+func (r *CVVectorResult) CVSummary(i int, muX, sigmaX float64) CVSummary {
+	c := &r.CV[i]
+	return CVSummary{
+		Plain:        r.Summary(i),
+		Mean:         c.MeanCorrected(muX),
+		Std:          c.StdCorrected(sigmaX),
+		Beta:         c.Beta(),
+		Rho:          c.Corr(),
+		VarReduction: c.VarianceReduction(),
+		EffectiveN:   c.EffectiveN(),
+	}
+}
+
+// RunVectorPaired executes cfg.Samples paired trials of f, each producing
+// nobs (primary, control) observable pairs, and streams them into
+// per-observable ControlVariate accumulators plus the plain per-primary
+// statistics of RunVectorState. Determinism matches the plain engine:
+// trial i reseeds from (cfg.Seed, i) and fixed-size blocks merge in block
+// order, so results are bit-identical across worker counts. The paired
+// path is streaming-only: cfg.Collect is rejected.
+func RunVectorPaired(ctx context.Context, cfg Config, nobs int, f PairedStateVectorFunc) (*CVVectorResult, error) {
+	if cfg.Samples < 1 {
+		return nil, fmt.Errorf("mc: sample count %d < 1", cfg.Samples)
+	}
+	if nobs < 1 {
+		return nil, fmt.Errorf("mc: observable count %d < 1", nobs)
+	}
+	if cfg.Collect {
+		return nil, fmt.Errorf("mc: the paired path is streaming-only (Collect unsupported)")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := cfg.Samples
+	nblocks := (n + blockSize - 1) / blockSize
+	type block struct {
+		cv       []stats.ControlVariate
+		quant    []QuantileSketch
+		rejected int
+	}
+	blocks := make([]block, nblocks)
+	nw := cfg.workers()
+	if nw > nblocks {
+		nw = nblocks
+	}
+	var (
+		next atomic.Int64
+		done atomic.Int64
+		wg   sync.WaitGroup
+
+		progressMu sync.Mutex
+		progressHW int
+	)
+	report := func(d int) {
+		progressMu.Lock()
+		if d > progressHW {
+			progressHW = d
+			cfg.Progress(d, n)
+		}
+		progressMu.Unlock()
+	}
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var rng *rand.Rand
+			if cfg.FastReseed {
+				rng = rand.New(new(pcgSource))
+			} else {
+				rng = rand.New(rand.NewSource(0))
+			}
+			y := make([]float64, nobs)
+			x := make([]float64, nobs)
+			var state any
+			if cfg.WorkerState != nil {
+				state = cfg.WorkerState()
+			}
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				b := int(next.Add(1)) - 1
+				if b >= nblocks {
+					return
+				}
+				lo := b * blockSize
+				hi := lo + blockSize
+				if hi > n {
+					hi = n
+				}
+				cv := make([]stats.ControlVariate, nobs)
+				quant := make([]QuantileSketch, nobs)
+				for j := range quant {
+					quant[j] = newQuantileSketch()
+				}
+				rej := 0
+				for i := lo; i < hi; i++ {
+					if ctx.Err() != nil {
+						return
+					}
+					rng.Seed(trialSeed(cfg.Seed, i))
+					if !f(state, rng, y, x) {
+						rej++
+						continue
+					}
+					for j := range cv {
+						cv[j].Add(y[j], x[j])
+						quant[j].P05.Add(y[j])
+						quant[j].Median.Add(y[j])
+						quant[j].P95.Add(y[j])
+					}
+				}
+				blocks[b] = block{cv: cv, quant: quant, rejected: rej}
+				d := done.Add(int64(hi - lo))
+				if cfg.Progress != nil {
+					report(int(d))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mc: run canceled after %d of %d trials: %w", done.Load(), n, err)
+	}
+	res := &CVVectorResult{
+		VectorResult: VectorResult{
+			Stats:     make([]stats.Welford, nobs),
+			Quantiles: make([]QuantileSketch, nobs),
+		},
+		CV: make([]stats.ControlVariate, nobs),
+	}
+	for j := range res.Quantiles {
+		res.Quantiles[j] = newQuantileSketch()
+	}
+	for _, b := range blocks {
+		for j := range res.CV {
+			res.CV[j].Merge(b.cv[j])
+			res.Quantiles[j].merge(b.quant[j])
+		}
+		res.Rejected += b.rejected
+	}
+	for j := range res.Stats {
+		res.Stats[j] = res.CV[j].Primary()
+	}
+	if res.Stats[0].N() == 0 {
+		return nil, fmt.Errorf("mc: every one of %d trials was rejected", n)
+	}
+	return res, nil
+}

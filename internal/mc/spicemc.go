@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"mpsram/internal/analytic"
 	"mpsram/internal/extract"
 	"mpsram/internal/litho"
 	"mpsram/internal/sram"
@@ -76,5 +77,38 @@ func SpiceTdpAcrossSizesShared(ctx context.Context, p tech.Process, o litho.Opti
 	}
 	return RunVectorState(ctx, cfg, len(sizes), func(state any, rng *rand.Rand, out []float64) bool {
 		return state.(func(*rand.Rand, []float64) bool)(rng, out)
+	})
+}
+
+// SpiceTdpCVAcrossSizesShared is SpiceTdpAcrossSizesShared on the paired
+// control-variate path: every trial runs the full read transients *and*
+// evaluates the closed-form tdp model m on the same extracted ratios, so
+// the result carries the paired moments (β̂, ρ̂, corrected mean/σ, the
+// measured variance-reduction factor) next to the plain SPICE statistics.
+// The SPICE observable stream is bitwise identical to
+// SpiceTdpAcrossSizesShared for the same (Seed, Samples): the control
+// rides the extraction the SPICE trial already performs, it never
+// consumes extra deviates.
+func SpiceTdpCVAcrossSizesShared(ctx context.Context, p tech.Process, o litho.Option, m analytic.Params, cm extract.CapModel, sizes []int, nom sram.CellParasitics, nomTd []float64, bopt sram.BuildOptions, sopt sram.SimOptions, cfg Config) (*CVVectorResult, error) {
+	if cm == nil {
+		return nil, fmt.Errorf("mc: nil capacitance model")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("mc: no array sizes requested")
+	}
+	if len(nomTd) != len(sizes) {
+		return nil, fmt.Errorf("mc: %d nominal read times for %d sizes", len(nomTd), len(sizes))
+	}
+	ctrl := func(n int, r extract.Ratios) float64 { return m.TdpPct(n, r.Rvar, r.Cvar) }
+	cfg.WorkerState = func() any {
+		b := sram.NewColumnBuilder(p, cm)
+		b.SetNominal(nom)
+		return b.PairedTrialFunc(o, sizes, nomTd, ctrl, bopt, sopt)
+	}
+	return RunVectorPaired(ctx, cfg, len(sizes), func(state any, rng *rand.Rand, y, x []float64) bool {
+		return state.(func(*rand.Rand, []float64, []float64) bool)(rng, y, x)
 	})
 }

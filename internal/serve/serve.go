@@ -183,8 +183,13 @@ type paramJSON struct {
 }
 
 type hintsJSON struct {
-	Samples int            `json:"samples"`
-	Smoke   map[string]any `json:"smoke,omitempty"`
+	Samples int `json:"samples"`
+	// SamplesCV is the advised budget when the workload runs with its
+	// control-variate estimator (cv: true): the paired estimator needs
+	// far fewer transients per unit of σ accuracy, so clients sizing a
+	// budget from hints should use this one when they set cv.
+	SamplesCV int            `json:"samples_cv,omitempty"`
+	Smoke     map[string]any `json:"smoke,omitempty"`
 }
 
 // handleWorkloads serves the registry listing — generated from the same
@@ -203,7 +208,7 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 			Summary: wl.Summary,
 			InAll:   wl.InAll,
 			Params:  []paramJSON{},
-			Hints:   hintsJSON{Samples: wl.Hints.Samples, Smoke: wl.Hints.Smoke},
+			Hints:   hintsJSON{Samples: wl.Hints.Samples, SamplesCV: wl.Hints.CVSamples, Smoke: wl.Hints.Smoke},
 		}
 		for _, ps := range wl.Params {
 			wj.Params = append(wj.Params, paramJSON{

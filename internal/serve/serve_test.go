@@ -188,7 +188,8 @@ func TestWorkloadsEndpointMatchesRegistry(t *testing.T) {
 				Default any    `json:"default"`
 			} `json:"params"`
 			Hints struct {
-				Samples int `json:"samples"`
+				Samples   int `json:"samples"`
+				SamplesCV int `json:"samples_cv"`
 			} `json:"hints"`
 		} `json:"workloads"`
 	}
@@ -208,7 +209,8 @@ func TestWorkloadsEndpointMatchesRegistry(t *testing.T) {
 	for i, w := range reg {
 		g := got.Workloads[i]
 		if g.Name != w.Name || g.Summary != w.Summary || g.InAll != w.InAll ||
-			g.Hints.Samples != w.Hints.Samples || len(g.Params) != len(w.Params) {
+			g.Hints.Samples != w.Hints.Samples || g.Hints.SamplesCV != w.Hints.CVSamples ||
+			len(g.Params) != len(w.Params) {
 			t.Errorf("workload %s drifted on the wire: %+v", w.Name, g)
 			continue
 		}

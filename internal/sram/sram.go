@@ -274,6 +274,11 @@ type SimOptions struct {
 	// Adaptive switches to the step-doubling backward-Euler integrator
 	// (spice.TransientAdaptive); Dt is then ignored.
 	Adaptive bool
+	// LTETol overrides the adaptive integrator's local-truncation-error
+	// tolerance in volts (0 = the accuracy-gated default, 50 µV). Only
+	// meaningful with Adaptive; loosening it trades td accuracy for
+	// fewer steps — the DOE accuracy gate in the tests pins the default.
+	LTETol float64
 }
 
 // estimateTd gives a coarse first-order read-time estimate used to size
@@ -342,7 +347,11 @@ func (c *Column) measureTdOn(eng *spice.Engine, cp CellParasitics, opt SimOption
 		err error
 	)
 	if opt.Adaptive {
-		res, err = eng.TransientAdaptive(tEnd, spice.AdaptiveOptions{LTETol: 50e-6}, probes, stopAt)
+		ltetol := opt.LTETol
+		if ltetol == 0 {
+			ltetol = 50e-6
+		}
+		res, err = eng.TransientAdaptive(tEnd, spice.AdaptiveOptions{LTETol: ltetol}, probes, stopAt)
 	} else {
 		res, err = eng.Transient(tEnd, dt, probes, stopAt)
 	}

@@ -57,6 +57,101 @@ func p2Tolerance(n int, spread float64, strict, merged bool) float64 {
 	return tol + 1e-12
 }
 
+// FuzzControlVariate checks the paired accumulator's merge invariance on
+// random correlated streams: splitting the stream at an arbitrary point
+// and merging must agree with single-stream accumulation and with the
+// exact two-pass paired statistics within floating-point tolerance, and
+// the derived regression quantities must stay finite and in range.
+func FuzzControlVariate(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint16(100))
+	f.Add(int64(2015), uint8(1), uint16(2))
+	f.Add(int64(-4), uint8(2), uint16(777))
+	f.Add(int64(33), uint8(3), uint16(256))
+	f.Fuzz(func(t *testing.T, seed int64, shape uint8, nRaw uint16) {
+		n := 1 + int(nRaw)%4000
+		rng := rand.New(rand.NewSource(seed))
+		xs := fuzzStream(rng, shape, n)
+		ys := make([]float64, n)
+		noise := 0.1 + float64(shape%8)/4 // correlation strength varies
+		for i, x := range xs {
+			ys[i] = 1.5*x - 2 + noise*rng.NormFloat64()
+		}
+		split := rng.Intn(n + 1)
+
+		var single, lo, hi ControlVariate
+		for i := range ys {
+			single.Add(ys[i], xs[i])
+			if i < split {
+				lo.Add(ys[i], xs[i])
+			} else {
+				hi.Add(ys[i], xs[i])
+			}
+		}
+		merged := lo
+		merged.Merge(hi)
+
+		if merged.N() != n || single.N() != n {
+			t.Fatalf("lost observations: merged %d single %d of %d", merged.N(), single.N(), n)
+		}
+		// Merged and single-stream accumulation agree to fp tolerance.
+		mpy, mpx := merged.Primary(), merged.Control()
+		spy, spx := single.Primary(), single.Control()
+		checks := []struct {
+			name     string
+			got, ref float64
+		}{
+			{"meanY", mpy.Mean(), spy.Mean()},
+			{"meanX", mpx.Mean(), spx.Mean()},
+			{"cov", merged.Cov(), single.Cov()},
+			{"beta", merged.Beta(), single.Beta()},
+			{"resid", merged.ResidualVar(), single.ResidualVar()},
+		}
+		if n >= 2 {
+			meanY, meanX, varY, varX, cov := exactPaired(ys, xs)
+			my, mx := merged.Primary(), merged.Control()
+			checks = append(checks,
+				struct {
+					name     string
+					got, ref float64
+				}{"exact meanY", my.Mean(), meanY},
+				struct {
+					name     string
+					got, ref float64
+				}{"exact meanX", mx.Mean(), meanX},
+				struct {
+					name     string
+					got, ref float64
+				}{"exact varY", my.Std() * my.Std(), varY},
+				struct {
+					name     string
+					got, ref float64
+				}{"exact varX", mx.Std() * mx.Std(), varX},
+				struct {
+					name     string
+					got, ref float64
+				}{"exact cov", merged.Cov(), cov},
+			)
+		}
+		for _, c := range checks {
+			if math.IsNaN(c.got) || math.IsInf(c.got, 0) {
+				t.Fatalf("%s: non-finite %v", c.name, c.got)
+			}
+			if !relClose(c.got, c.ref, 1e-6) {
+				t.Fatalf("%s: %v != %v", c.name, c.got, c.ref)
+			}
+		}
+		if r := merged.Corr(); r < -1-1e-9 || r > 1+1e-9 || math.IsNaN(r) {
+			t.Fatalf("correlation out of range: %v", r)
+		}
+		if vr := merged.VarianceReduction(); vr < 1-1e-9 || math.IsNaN(vr) {
+			t.Fatalf("variance reduction below 1: %v", vr)
+		}
+		if rv := merged.ResidualVar(); rv < 0 {
+			t.Fatalf("negative residual variance: %v", rv)
+		}
+	})
+}
+
 // FuzzP2Quantile checks the P² sketch against exact quantiles on random
 // streams: estimates must be exact below formation (n < 5), stay inside
 // the observed [min, max] envelope, never go NaN for a non-empty stream,
