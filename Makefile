@@ -5,7 +5,7 @@ GO ?= go
 
 # Coverage ratchet: CI fails if total -short coverage drops below this.
 # Raise it when coverage grows; never lower it without a written reason.
-COVER_MIN ?= 80.0
+COVER_MIN ?= 80.5
 
 .PHONY: all build test test-race bench bench-smoke fuzz-smoke cover cover-check lint fmt clean
 
@@ -36,10 +36,16 @@ bench-smoke:
 # (and its deterministic Merge) against exact quantiles on random streams;
 # FuzzControlVariate checks the paired-moment accumulator (β̂, ρ̂, residual
 # variance and its split-anywhere Merge) against exact two-pass statistics.
+# The three *Codec targets gate the shard-artifact serialization surface:
+# encode→decode→Merge must stay bit-identical to merging the live
+# accumulators, on random streams split at random points.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzNetlistReset' -fuzztime 10s ./internal/spice
 	$(GO) test -run '^$$' -fuzz 'FuzzP2Quantile' -fuzztime 10s ./internal/stats
-	$(GO) test -run '^$$' -fuzz 'FuzzControlVariate' -fuzztime 10s ./internal/stats
+	$(GO) test -run '^$$' -fuzz 'FuzzControlVariate$$' -fuzztime 10s ./internal/stats
+	$(GO) test -run '^$$' -fuzz 'FuzzWelfordCodec' -fuzztime 10s ./internal/stats
+	$(GO) test -run '^$$' -fuzz 'FuzzP2Codec' -fuzztime 10s ./internal/stats
+	$(GO) test -run '^$$' -fuzz 'FuzzControlVariateCodec' -fuzztime 10s ./internal/stats
 
 # Coverage over the -short suite (the fast deterministic core).
 cover:

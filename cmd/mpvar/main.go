@@ -99,7 +99,7 @@ workloads (from the registry; 'mpvar help <workload>' shows its parameters):
 		fmt.Fprintf(w, "  %-12s %s\n", wl.Name, wl.Summary)
 	}
 	fmt.Fprintf(w, "\nutilities:\n")
-	for _, u := range []string{"gds", "deck", "serve", "help"} {
+	for _, u := range []string{"gds", "deck", "serve", "shard", "reduce", "help"} {
 		fmt.Fprintf(w, "  %-12s %s\n", u, utilities[u])
 	}
 	fmt.Fprintf(w, "\nflags:\n")
@@ -111,10 +111,12 @@ workloads (from the registry; 'mpvar help <workload>' shows its parameters):
 // kept out of the workload registry because they emit raw formats, not
 // tabular results.
 var utilities = map[string]string{
-	"gds":   "dump the 6T cell layout as GDS text (text only; honors -process)",
-	"deck":  "dump a column SPICE deck (text only; honors -process and -n)",
-	"serve": "serve the registry over HTTP/JSON with a deterministic result cache (see API.md)",
-	"help":  "describe a workload and its parameters",
+	"gds":    "dump the 6T cell layout as GDS text (text only; honors -process)",
+	"deck":   "dump a column SPICE deck (text only; honors -process and -n)",
+	"serve":  "serve the registry over HTTP/JSON with a deterministic result cache (see API.md)",
+	"shard":  "run one shard of a workload's Monte-Carlo blocks to a resumable artifact (see EXPERIMENTS.md)",
+	"reduce": "merge a run's shard artifacts into the exact single-process result",
+	"help":   "describe a workload and its parameters",
 }
 
 // helpWorkload renders one workload's self-description; the static
@@ -164,8 +166,15 @@ func main() {
 		os.Exit(2)
 	}
 	name := fs1.Arg(0)
-	if name == "serve" {
+	switch name {
+	case "serve":
 		serveMain(fs1.Args()[1:])
+		return
+	case "shard":
+		shardMain(fs1.Args()[1:])
+		return
+	case "reduce":
+		reduceMain(fs1.Args()[1:])
 		return
 	}
 	if name == "help" {

@@ -1,0 +1,219 @@
+// The `mpvar shard` and `mpvar reduce` verbs: distributed + resumable
+// Monte-Carlo over the workload registry. `shard` executes one contiguous
+// slice of a run's trial blocks and writes a partial-aggregate artifact;
+// `reduce` re-merges a complete artifact set in block order and renders
+// the workload result — byte-identical to the single-process run. Both
+// route through core.RunSpec, so every registered workload shards with no
+// per-workload code, and the artifact carries the run key that keeps
+// stale shards from reducing.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"mpsram/internal/core"
+	"mpsram/internal/exp"
+	"mpsram/internal/mc"
+	"mpsram/internal/report"
+)
+
+// shardSpecFlags are the flags shard/reduce share with the main workload
+// surface; only the RunSpec identity fields plus execution knobs apply —
+// worker counts never change results.
+type shardSpecFlags struct {
+	samples  int
+	seed     int64
+	process  string
+	fastSeed bool
+	workers  int
+	progress bool
+}
+
+func defaultShardSpecFlags() *shardSpecFlags {
+	return &shardSpecFlags{seed: core.DefaultSeed}
+}
+
+// register binds the flags; like the main globals, the current field
+// values are the defaults, so pass-one assignments survive the second
+// (post-workload-name) registration.
+func (g *shardSpecFlags) register(fs *flag.FlagSet) {
+	fs.IntVar(&g.samples, "samples", g.samples, "Monte-Carlo sample count (0 = the workload's preferred budget)")
+	fs.Int64Var(&g.seed, "seed", g.seed, "Monte-Carlo seed")
+	fs.StringVar(&g.process, "process", g.process, "technology preset (default N10); run 'mpvar processes' for the registry")
+	fs.BoolVar(&g.fastSeed, "fastseed", g.fastSeed, "use the splittable PCG64 Monte-Carlo stream (changes sampled values)")
+	fs.IntVar(&g.workers, "workers", g.workers, "worker count for Monte-Carlo and SPICE sweeps (0 = all CPUs; never changes results)")
+	fs.BoolVar(&g.progress, "progress", g.progress, "report progress on stderr")
+}
+
+// execOptions translates the execution knobs (not part of the run
+// identity) into study options.
+func (g *shardSpecFlags) execOptions(ctx context.Context) []core.Option {
+	opts := []core.Option{core.WithContext(ctx), core.WithWorkers(g.workers)}
+	if g.progress {
+		opts = append(opts, core.WithProgress(progressPrinter()))
+	}
+	return opts
+}
+
+// interruptContext is the shared Ctrl-C handling: the first signal
+// cancels the context (the engines stop between blocks and the shard
+// runner persists its checkpoint), a second one is a hard stop.
+func interruptContext() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx, stop
+}
+
+// shardMain runs `mpvar shard`: one shard of one run, to one artifact.
+func shardMain(args []string) {
+	g := defaultShardSpecFlags()
+	fs := flag.NewFlagSet("mpvar shard", flag.ExitOnError)
+	index := fs.Int("index", 0, "this shard's index, 0-based")
+	of := fs.Int("of", 1, "total shard count the run is split into")
+	out := fs.String("o", "", "artifact output path (default <workload>.shard<index>-of<of>)")
+	checkpoint := fs.Duration("checkpoint", 0, "persist a resumable checkpoint at most this often (0 = only on exit)")
+	resume := fs.Bool("resume", false, "continue from an existing checkpoint at the output path")
+	g.register(fs)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, `usage: mpvar shard -index I -of N [flags] <workload> [workload flags]
+
+execute shard I of a run split into N contiguous block ranges and write a
+partial-aggregate artifact; 'mpvar reduce' merges the complete set into
+the exact single-process result. Interrupted runs persist their progress:
+rerun with -resume to continue. See EXPERIMENTS.md.
+
+flags:
+`)
+		fs.SetOutput(os.Stderr)
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if fs.NArg() < 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	name := fs.Arg(0)
+	wl, err := exp.LookupWorkload(name)
+	check(err)
+
+	// Second pass over the arguments after the workload name: the shared
+	// spec flags again (subcommand style) plus the workload's own schema
+	// parameters.
+	fs2 := flag.NewFlagSet("mpvar shard "+name, flag.ExitOnError)
+	g.register(fs2)
+	bound := map[string]func() any{}
+	for _, ps := range wl.Params {
+		if fs2.Lookup(ps.Name) != nil {
+			f := fs2.Lookup(ps.Name)
+			bound[ps.Name] = func() any { return f.Value.(flag.Getter).Get() }
+			continue
+		}
+		ps := ps
+		switch ps.Kind {
+		case exp.IntParam:
+			p := fs2.Int(ps.Name, ps.Default.(int), ps.Help)
+			bound[ps.Name] = func() any { return *p }
+		case exp.FloatParam:
+			p := fs2.Float64(ps.Name, ps.Default.(float64), ps.Help)
+			bound[ps.Name] = func() any { return *p }
+		case exp.BoolParam:
+			p := fs2.Bool(ps.Name, ps.Default.(bool), ps.Help)
+			bound[ps.Name] = func() any { return *p }
+		case exp.StringParam:
+			p := fs2.String(ps.Name, ps.Default.(string), ps.Help)
+			bound[ps.Name] = func() any { return *p }
+		}
+	}
+	_ = fs2.Parse(fs.Args()[1:])
+	if fs2.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected argument %q after workload %s", fs2.Arg(0), name))
+	}
+	seen := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { seen[f.Name] = true })
+	fs2.Visit(func(f *flag.Flag) { seen[f.Name] = true })
+
+	// Only explicitly set parameters enter the spec; Normalize fills the
+	// schema defaults, so the run key matches every other spelling of the
+	// same run (CLI, serve, reduce).
+	params := exp.Params{}
+	for _, ps := range wl.Params {
+		if seen[ps.Name] {
+			params[ps.Name] = bound[ps.Name]()
+		}
+	}
+	spec := core.RunSpec{
+		Workload: name, Params: params, Process: g.process,
+		Seed: g.seed, Samples: g.samples, FastSeed: g.fastSeed,
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("%s.shard%d-of%d", wl.Name, *index, *of)
+	}
+
+	ctx, stop := interruptContext()
+	defer stop()
+	err = core.RunShard(spec, mc.ShardSpec{Index: *index, Count: *of}, path,
+		core.ShardRunOptions{CheckpointEvery: *checkpoint, Resume: *resume},
+		g.execOptions(ctx)...)
+	if err != nil {
+		// On cancellation the checkpoint has already been persisted —
+		// say so, because "rerun with -resume" is the whole point.
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "mpvar shard: checkpoint saved to %s; rerun with -resume to continue\n", path)
+		}
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "mpvar shard: wrote %s\n", path)
+}
+
+// reduceMain runs `mpvar reduce`: merge a complete artifact set and
+// render the result.
+func reduceMain(args []string) {
+	fs := flag.NewFlagSet("mpvar reduce", flag.ExitOnError)
+	formatFlag := fs.String("format", "text", "output format: text, csv, md or json")
+	workers := fs.Int("workers", 0, "worker count for the non-Monte-Carlo stages a workload re-runs (never changes results)")
+	progress := fs.Bool("progress", false, "report progress on stderr")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = none)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, `usage: mpvar reduce [flags] <artifact>...
+
+merge one run's complete shard artifacts (every index of the recorded
+shard count, any order) and render the workload result — byte-identical
+to running the workload single-process. The artifacts carry the full run
+identity; stale or mismatched shards are refused.
+
+flags:
+`)
+		fs.SetOutput(os.Stderr)
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if fs.NArg() < 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	format, err := report.ParseFormat(*formatFlag)
+	check(err)
+
+	ctx, stop := interruptContext()
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts := []core.Option{core.WithContext(ctx), core.WithWorkers(*workers)}
+	if *progress {
+		opts = append(opts, core.WithProgress(progressPrinter()))
+	}
+	res, err := core.Reduce(fs.Args(), opts...)
+	check(err)
+	check(res.Write(os.Stdout, format))
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpsram/internal/core"
+	"mpsram/internal/exp"
+	"mpsram/internal/report"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it wrote.
+func captureStdout(t *testing.T, fn func()) []byte {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan []byte)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- b
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+// TestShardReduceVerbs drives the CLI verbs in process: shard a run into
+// two artifacts (one via an explicitly bound workload parameter), reduce
+// them, and require output byte-identical to the direct library run. The
+// CI shard-smoke step covers the same contract over the real binary;
+// this keeps the flag plumbing under `go test` coverage.
+func TestShardReduceVerbs(t *testing.T) {
+	dir := t.TempDir()
+	p0 := filepath.Join(dir, "p0.shard")
+	p1 := filepath.Join(dir, "p1.shard")
+	shardMain([]string{"-index", "0", "-of", "2", "-o", p0, "-samples", "400", "fig5", "-n", "32"})
+	// Spec flags work in either position (before or after the name);
+	// workload parameters bind after it.
+	shardMain([]string{"-index", "1", "-of", "2", "-o", p1, "fig5", "-samples", "400", "-n", "32"})
+
+	out := captureStdout(t, func() {
+		reduceMain([]string{"-format", "json", p0, p1})
+	})
+
+	res, err := core.RunSpec{Workload: "fig5", Samples: 400, Params: exp.Params{"n": 32}}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := res.Write(&want, report.FormatJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, want.Bytes()) {
+		t.Errorf("reduced CLI output diverged from direct run:\n got %q\nwant %q", out, want.Bytes())
+	}
+
+	// -resume on a complete artifact is a no-op success, and -checkpoint
+	// parses and runs.
+	shardMain([]string{"-index", "0", "-of", "2", "-o", p0, "-resume", "-samples", "400", "fig5", "-n", "32"})
+	p2 := filepath.Join(dir, "p2.shard")
+	shardMain([]string{"-index", "0", "-of", "1", "-o", p2, "-checkpoint", "1ms", "-samples", "400", "fig5", "-n", "32"})
+	art, err := core.ReadShardArtifact(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !art.Header.Complete || art.Header.Workload != "fig5" || art.Header.Samples != 400 {
+		t.Fatalf("artifact header drifted: %+v", art.Header)
+	}
+}

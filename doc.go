@@ -118,6 +118,33 @@
 // numerics change regenerates the goldens, and every stale cache entry
 // retires at once. API.md documents the wire contract.
 //
+// The Monte-Carlo engine's block scheduler (internal/mc/sched.go) is the
+// seam distributed execution grows from. Trials aggregate into fixed
+// 256-trial blocks; workers pull block indices from an atomic cursor and
+// a frontier re-orders completed blocks so they are emitted strictly in
+// block order — which makes the contiguous emitted prefix the engine's
+// partial-progress invariant: a canceled run reports exactly the trials
+// of that prefix, torn in-flight blocks are never counted, so a resumed
+// run re-executes precisely the blocks at or after the frontier and
+// nothing is double-counted. Because float folds are not associative,
+// partial aggregates are serialized per block (versioned big-endian
+// codecs for Welford/P²/ControlVariate in stats/codec.go, exact-round-trip
+// fuzzed in Fuzz*Codec): a reducer replays the same left-fold the
+// single-process run performs, bit for bit. On top of that sit
+// mc.ShardSpec/ShardRun/Replay — execute one contiguous block range of
+// every stream a workload runs, capture the records, or fold recorded
+// ones instead of executing — and core.RunShard/Reduce, which wrap the
+// capture in a self-identifying artifact file: a JSON header carrying
+// the full normalized RunSpec plus its run key, then the mc payload.
+// Reduce recomputes the key from the header, so artifacts from an older
+// EngineVersion or a drifted schema refuse instead of folding stale
+// blocks. Checkpoints are the same artifact marked incomplete, written
+// atomically; `mpvar shard -index I -of N` / `mpvar reduce` surface all
+// of it over the registry — every workload shards, resumes and reduces
+// byte-identically to its single-process run with zero per-workload
+// code (CI proves both by cmp: a 3-shard reduce and a SIGINT-resume
+// against the unsharded output).
+//
 // The benchmark harness in bench_test.go regenerates every table and
 // figure of the paper's evaluation section; run
 //

@@ -11,8 +11,6 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sync"
-	"sync/atomic"
 
 	"mpsram/internal/stats"
 )
@@ -90,116 +88,77 @@ func RunVectorPaired(ctx context.Context, cfg Config, nobs int, f PairedStateVec
 		ctx = context.Background()
 	}
 	n := cfg.Samples
-	nblocks := (n + blockSize - 1) / blockSize
-	type block struct {
-		cv       []stats.ControlVariate
-		quant    []QuantileSketch
-		rejected int
-	}
-	blocks := make([]block, nblocks)
-	nw := cfg.workers()
-	if nw > nblocks {
-		nw = nblocks
-	}
-	var (
-		next atomic.Int64
-		done atomic.Int64
-		wg   sync.WaitGroup
+	hdr := streamHeader{Kind: streamPaired, FastReseed: cfg.FastReseed, Nobs: nobs, Samples: n, Seed: cfg.Seed}
 
-		progressMu sync.Mutex
-		progressHW int
-	)
-	report := func(d int) {
-		progressMu.Lock()
-		if d > progressHW {
-			progressHW = d
-			cfg.Progress(d, n)
+	if rp := cfg.Replay; rp != nil {
+		recs, err := rp.nextStream(hdr)
+		if err != nil {
+			return nil, err
 		}
-		progressMu.Unlock()
+		res := foldPaired(recs, nobs)
+		if res.Stats[0].N() == 0 {
+			return nil, fmt.Errorf("mc: every one of %d trials was rejected", n)
+		}
+		return res, nil
 	}
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var rng *rand.Rand
-			if cfg.FastReseed {
-				rng = rand.New(new(pcgSource))
-			} else {
-				rng = rand.New(rand.NewSource(0))
+
+	newEval := func() evalFunc {
+		y := make([]float64, nobs)
+		x := make([]float64, nobs)
+		return func(state any, rng *rand.Rand, b, lo, hi int) (StreamRecord, bool) {
+			rec := StreamRecord{Block: b, CV: make([]stats.ControlVariate, nobs), Quant: make([]QuantileSketch, nobs)}
+			for j := range rec.Quant {
+				rec.Quant[j] = newQuantileSketch()
 			}
-			y := make([]float64, nobs)
-			x := make([]float64, nobs)
-			var state any
-			if cfg.WorkerState != nil {
-				state = cfg.WorkerState()
-			}
-			for {
+			for i := lo; i < hi; i++ {
 				if ctx.Err() != nil {
-					return
+					return StreamRecord{}, false
 				}
-				b := int(next.Add(1)) - 1
-				if b >= nblocks {
-					return
+				rng.Seed(trialSeed(cfg.Seed, i))
+				if !f(state, rng, y, x) {
+					rec.Rejected++
+					continue
 				}
-				lo := b * blockSize
-				hi := lo + blockSize
-				if hi > n {
-					hi = n
-				}
-				cv := make([]stats.ControlVariate, nobs)
-				quant := make([]QuantileSketch, nobs)
-				for j := range quant {
-					quant[j] = newQuantileSketch()
-				}
-				rej := 0
-				for i := lo; i < hi; i++ {
-					if ctx.Err() != nil {
-						return
-					}
-					rng.Seed(trialSeed(cfg.Seed, i))
-					if !f(state, rng, y, x) {
-						rej++
-						continue
-					}
-					for j := range cv {
-						cv[j].Add(y[j], x[j])
-						quant[j].P05.Add(y[j])
-						quant[j].Median.Add(y[j])
-						quant[j].P95.Add(y[j])
-					}
-				}
-				blocks[b] = block{cv: cv, quant: quant, rejected: rej}
-				d := done.Add(int64(hi - lo))
-				if cfg.Progress != nil {
-					report(int(d))
+				for j := range rec.CV {
+					rec.CV[j].Add(y[j], x[j])
+					rec.Quant[j].P05.Add(y[j])
+					rec.Quant[j].Median.Add(y[j])
+					rec.Quant[j].P95.Add(y[j])
 				}
 			}
-		}()
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("mc: run canceled after %d of %d trials: %w", done.Load(), n, err)
-	}
-	res := &CVVectorResult{
-		VectorResult: VectorResult{
-			Stats:     make([]stats.Welford, nobs),
-			Quantiles: make([]QuantileSketch, nobs),
-		},
-		CV: make([]stats.ControlVariate, nobs),
-	}
-	for j := range res.Quantiles {
-		res.Quantiles[j] = newQuantileSketch()
-	}
-	for _, b := range blocks {
-		for j := range res.CV {
-			res.CV[j].Merge(b.cv[j])
-			res.Quantiles[j].merge(b.quant[j])
+			return rec, true
 		}
-		res.Rejected += b.rejected
 	}
-	for j := range res.Stats {
-		res.Stats[j] = res.CV[j].Primary()
+
+	if sh := cfg.Shard; sh != nil {
+		st, err := sh.beginStream(hdr)
+		if err != nil {
+			return nil, err
+		}
+		first := st.lo + len(st.recs)
+		emitted := runBlocks(ctx, cfg, n, first, st.hi, newEval, func(rec StreamRecord) {
+			st.recs = append(st.recs, rec)
+			if sh.Checkpoint != nil {
+				sh.Checkpoint()
+			}
+		})
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("mc: run canceled after %d of %d trials: %w", trialsIn(st.lo, first, n)+emitted, n, err)
+		}
+		return foldPaired(st.recs, nobs), nil
 	}
+
+	nblocks := hdr.nblocks()
+	recs := make([]StreamRecord, 0, nblocks)
+	emitted := runBlocks(ctx, cfg, n, 0, nblocks, newEval, func(rec StreamRecord) {
+		recs = append(recs, rec)
+	})
+	if err := ctx.Err(); err != nil {
+		// Same partial-progress invariant as the plain path: the count
+		// covers the contiguous emitted prefix only (see sched.go).
+		return nil, fmt.Errorf("mc: run canceled after %d of %d trials: %w", emitted, n, err)
+	}
+	res := foldPaired(recs, nobs)
 	if res.Stats[0].N() == 0 {
 		return nil, fmt.Errorf("mc: every one of %d trials was rejected", n)
 	}

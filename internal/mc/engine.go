@@ -17,8 +17,6 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sync"
-	"sync/atomic"
 
 	"mpsram/internal/stats"
 )
@@ -141,160 +139,101 @@ func RunVectorState(ctx context.Context, cfg Config, nobs int, f StateVectorFunc
 		ctx = context.Background()
 	}
 	n := cfg.Samples
-	nblocks := (n + blockSize - 1) / blockSize
-	type block struct {
-		agg      []stats.Welford
-		quant    []QuantileSketch // nil when collecting (exact path)
-		rejected int
-	}
-	blocks := make([]block, nblocks)
-	// Collected values live in one flat trial-major buffer so workers
-	// write disjoint regions without synchronisation.
-	var (
-		vals     []float64
-		accepted []bool
-	)
-	if cfg.Collect {
-		vals = make([]float64, n*nobs)
-		accepted = make([]bool, n)
-	}
-	nw := cfg.workers()
-	if nw > nblocks {
-		nw = nblocks
-	}
-	var (
-		next atomic.Int64 // block cursor
-		done atomic.Int64 // completed trials (for progress)
-		wg   sync.WaitGroup
+	hdr := streamHeader{Kind: streamPlain, Collect: cfg.Collect, FastReseed: cfg.FastReseed, Nobs: nobs, Samples: n, Seed: cfg.Seed}
 
-		// Progress calls are serialized and gated on a high-water mark so
-		// the callback observes strictly increasing done values even when
-		// workers finish blocks out of order.
-		progressMu sync.Mutex
-		progressHW int
-	)
-	report := func(d int) {
-		progressMu.Lock()
-		if d > progressHW {
-			progressHW = d
-			cfg.Progress(d, n)
+	// Reduce mode: fold the recorded blocks instead of executing trials.
+	if rp := cfg.Replay; rp != nil {
+		recs, err := rp.nextStream(hdr)
+		if err != nil {
+			return nil, err
 		}
-		progressMu.Unlock()
+		res := foldPlain(recs, nobs, cfg.Collect)
+		if res.Stats[0].N() == 0 {
+			return nil, fmt.Errorf("mc: every one of %d trials was rejected", n)
+		}
+		return res, nil
 	}
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// One PRNG, one scratch vector and (when hooked) one state
-			// value per worker, reseeded / rewritten per trial instead of
-			// reallocated. FastReseed swaps the source for the splittable
-			// PCG64 whose Seed is O(1) instead of a 607-word table init;
-			// the stream changes, the determinism contract does not.
-			var rng *rand.Rand
-			if cfg.FastReseed {
-				rng = rand.New(new(pcgSource))
-			} else {
-				rng = rand.New(rand.NewSource(0))
+
+	newEval := func() evalFunc {
+		out := make([]float64, nobs)
+		return func(state any, rng *rand.Rand, b, lo, hi int) (StreamRecord, bool) {
+			rec := StreamRecord{Block: b, Agg: make([]stats.Welford, nobs)}
+			var quant []QuantileSketch
+			if !cfg.Collect {
+				quant = make([]QuantileSketch, nobs)
+				for j := range quant {
+					quant[j] = newQuantileSketch()
+				}
 			}
-			out := make([]float64, nobs)
-			var state any
-			if cfg.WorkerState != nil {
-				state = cfg.WorkerState()
-			}
-			for {
+			for i := lo; i < hi; i++ {
+				// Also honor cancellation inside a block: a
+				// SPICE-in-the-loop run at a sub-block budget would
+				// otherwise only notice SIGINT when it finishes.
+				// Completed runs are unaffected — an abandoned (torn)
+				// block is never emitted, counted or checkpointed.
 				if ctx.Err() != nil {
-					return
+					return StreamRecord{}, false
 				}
-				b := int(next.Add(1)) - 1
-				if b >= nblocks {
-					return
+				rng.Seed(trialSeed(cfg.Seed, i))
+				if !f(state, rng, out) {
+					rec.Rejected++
+					continue
 				}
-				lo := b * blockSize
-				hi := lo + blockSize
-				if hi > n {
-					hi = n
+				for j := range rec.Agg {
+					rec.Agg[j].Add(out[j])
 				}
-				agg := make([]stats.Welford, nobs)
-				var quant []QuantileSketch
-				if !cfg.Collect {
-					quant = make([]QuantileSketch, nobs)
-					for j := range quant {
-						quant[j] = newQuantileSketch()
-					}
+				for j := range quant {
+					quant[j].P05.Add(out[j])
+					quant[j].Median.Add(out[j])
+					quant[j].P95.Add(out[j])
 				}
-				rej := 0
-				for i := lo; i < hi; i++ {
-					// Also honor cancellation inside a block: a
-					// SPICE-in-the-loop run at a sub-block budget would
-					// otherwise only notice SIGINT when it finishes.
-					// Completed runs are unaffected — an abandoned
-					// block is never merged.
-					if ctx.Err() != nil {
-						return
-					}
-					rng.Seed(trialSeed(cfg.Seed, i))
-					if !f(state, rng, out) {
-						rej++
-						continue
-					}
-					for j := range agg {
-						agg[j].Add(out[j])
-					}
-					for j := range quant {
-						quant[j].P05.Add(out[j])
-						quant[j].Median.Add(out[j])
-						quant[j].P95.Add(out[j])
-					}
-					if accepted != nil {
-						accepted[i] = true
-						copy(vals[i*nobs:(i+1)*nobs], out)
-					}
-				}
-				blocks[b] = block{agg: agg, quant: quant, rejected: rej}
-				d := done.Add(int64(hi - lo))
-				if cfg.Progress != nil {
-					report(int(d))
+				if cfg.Collect {
+					rec.Values = append(rec.Values, out...)
 				}
 			}
-		}()
+			rec.Quant = quant
+			return rec, true
+		}
 	}
-	wg.Wait()
+
+	// Shard mode: execute only the shard's block range (continuing past
+	// a resumed checkpoint's frontier) and capture the records. The
+	// partial fold below is the shard's own view; the real result comes
+	// from the reducer.
+	if sh := cfg.Shard; sh != nil {
+		st, err := sh.beginStream(hdr)
+		if err != nil {
+			return nil, err
+		}
+		first := st.lo + len(st.recs)
+		emitted := runBlocks(ctx, cfg, n, first, st.hi, newEval, func(rec StreamRecord) {
+			st.recs = append(st.recs, rec)
+			if sh.Checkpoint != nil {
+				sh.Checkpoint()
+			}
+		})
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("mc: run canceled after %d of %d trials: %w", trialsIn(st.lo, first, n)+emitted, n, err)
+		}
+		return foldPlain(st.recs, nobs, cfg.Collect), nil
+	}
+
+	nblocks := hdr.nblocks()
+	recs := make([]StreamRecord, 0, nblocks)
+	emitted := runBlocks(ctx, cfg, n, 0, nblocks, newEval, func(rec StreamRecord) {
+		recs = append(recs, rec)
+	})
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("mc: run canceled after %d of %d trials: %w", done.Load(), n, err)
+		// The reported count is the partial-progress invariant: trials
+		// of the contiguous emitted prefix only. Completed-but-unmerged
+		// blocks beyond the frontier and the torn in-flight blocks are
+		// excluded, so a checkpoint resume re-runs exactly the blocks at
+		// or after the frontier — nothing is double-counted.
+		return nil, fmt.Errorf("mc: run canceled after %d of %d trials: %w", emitted, n, err)
 	}
-	res := &VectorResult{Stats: make([]stats.Welford, nobs)}
-	if !cfg.Collect {
-		res.Quantiles = make([]QuantileSketch, nobs)
-		for j := range res.Quantiles {
-			res.Quantiles[j] = newQuantileSketch()
-		}
-	}
-	for _, b := range blocks {
-		for j := range res.Stats {
-			res.Stats[j].Merge(b.agg[j])
-		}
-		for j := range b.quant {
-			res.Quantiles[j].merge(b.quant[j])
-		}
-		res.Rejected += b.rejected
-	}
+	res := foldPlain(recs, nobs, cfg.Collect)
 	if res.Stats[0].N() == 0 {
 		return nil, fmt.Errorf("mc: every one of %d trials was rejected", n)
-	}
-	if cfg.Collect {
-		res.Values = make([][]float64, nobs)
-		acc := res.Stats[0].N()
-		for j := range res.Values {
-			res.Values[j] = make([]float64, 0, acc)
-		}
-		for i := 0; i < n; i++ {
-			if !accepted[i] {
-				continue
-			}
-			for j := 0; j < nobs; j++ {
-				res.Values[j] = append(res.Values[j], vals[i*nobs+j])
-			}
-		}
 	}
 	return res, nil
 }

@@ -50,6 +50,18 @@ type Config struct {
 	// the engine and done is strictly increasing within one run, so the
 	// callback needs no locking of its own.
 	Progress func(done, total int)
+	// Shard, if non-nil, restricts every engine run under this config to
+	// the shard's contiguous block range and captures the per-block
+	// partial aggregates (see ShardRun). The returned results are the
+	// shard's partial view — possibly empty, never an all-rejected error
+	// — and exist only so workload code can complete its control flow;
+	// the authoritative result comes from reducing the shard artifacts.
+	Shard *ShardRun
+	// Replay, if non-nil, skips trial execution entirely: every engine
+	// run validates its stream identity against the recording and folds
+	// the recorded blocks in block order (see Replay/NewReplay), which
+	// reproduces the single-process result bit for bit.
+	Replay *Replay
 	// WorkerState, if non-nil, is invoked once per worker goroutine and
 	// its return value handed to every trial that worker evaluates (see
 	// StateVectorFunc). It is the hook that lets heavyweight trials own

@@ -1,0 +1,254 @@
+// The block scheduler — the layer under RunVectorState and
+// RunVectorPaired that owns the worker pool, the block cursor, and the
+// deterministic in-order delivery of per-block partial aggregates.
+//
+// Every trial stream is cut into fixed blockSize blocks. Workers pull
+// block indices from an atomic cursor and evaluate them independently;
+// completed blocks park in a pending set until the contiguous frontier
+// reaches them, at which point they are emitted strictly in block order.
+// That ordering is the whole determinism story: the fold over emitted
+// records is the exact left-fold a serial run would perform, so results
+// are bit-identical for any worker count — and, because a contiguous
+// prefix of emitted records is itself a valid left-fold state, the same
+// mechanism gives sharding (emit a block sub-range) and checkpoint/resume
+// (persist the frontier, restart after it) without new math.
+//
+// Partial-progress invariant: a block is either emitted whole or not at
+// all. A cancellation mid-block abandons the in-flight block — its trials
+// appear in no count, no record and no checkpoint — so a resumed run
+// re-executes exactly the blocks at or after the frontier, never
+// double-counting a torn block. The trial count in the cancellation
+// error reports emitted (frontier) trials only.
+package mc
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"mpsram/internal/stats"
+)
+
+// StreamRecord is one block's partial aggregate — the unit of
+// distribution, checkpointing and the in-order reduce. Exactly one of
+// Agg (plain stream) or CV (paired stream) is populated; Quant rides
+// along unless the stream collects raw values, in which case Values
+// holds the block's accepted observations trial-major (nobs values per
+// accepted trial, in trial order).
+type StreamRecord struct {
+	Block    int
+	Rejected int
+	Agg      []stats.Welford
+	Quant    []QuantileSketch
+	CV       []stats.ControlVariate
+	Values   []float64
+}
+
+// Stream kinds — which engine entry point produced the stream.
+const (
+	streamPlain  = 0
+	streamPaired = 1
+)
+
+// streamHeader is the identity of one engine invocation inside a run:
+// everything that must match between a shard capture and the reducer's
+// re-execution for the recorded blocks to be the same computation.
+// Comparable by ==.
+type streamHeader struct {
+	Kind       uint8
+	Collect    bool
+	FastReseed bool
+	Nobs       int
+	Samples    int
+	Seed       int64
+}
+
+// nblocks returns the stream's block count.
+func (h streamHeader) nblocks() int {
+	return (h.Samples + blockSize - 1) / blockSize
+}
+
+// blockBounds returns the trial range [lo,hi) of block b in an n-trial
+// stream.
+func blockBounds(b, n int) (lo, hi int) {
+	lo = b * blockSize
+	hi = lo + blockSize
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// trialsIn returns the number of trials in blocks [first,last) of an
+// n-trial stream.
+func trialsIn(first, last, n int) int {
+	lo := first * blockSize
+	hi := last * blockSize
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return hi - lo
+}
+
+// evalFunc evaluates one block of trials into its record. It returns
+// ok=false when the run was canceled mid-block; the torn block is then
+// abandoned — never emitted, never counted.
+type evalFunc func(state any, rng *rand.Rand, block, lo, hi int) (rec StreamRecord, ok bool)
+
+// runBlocks drives the worker pool over blocks [first,last) of an
+// n-trial stream. newEval is invoked once per worker and the returned
+// closure owns that worker's scratch; each worker also gets one reusable
+// PRNG (legacy or PCG64 per cfg.FastReseed) and one cfg.WorkerState
+// value. emit receives every completed record strictly in block order
+// and is serialized by the scheduler — it needs no locking and may
+// safely append to a slice or persist a checkpoint. cfg.Progress, when
+// set, observes the frontier: done counts emitted trials of this range,
+// total the range's trial count, strictly increasing.
+//
+// The return value is the number of emitted trials — the contiguous
+// frontier, which on a clean run equals the range total and on a
+// canceled run is exactly the prefix a resume may keep.
+func runBlocks(ctx context.Context, cfg Config, n, first, last int, newEval func() evalFunc, emit func(StreamRecord)) int {
+	nblocks := last - first
+	if nblocks <= 0 {
+		return 0
+	}
+	rangeTrials := trialsIn(first, last, n)
+	nw := cfg.workers()
+	if nw > nblocks {
+		nw = nblocks
+	}
+	var (
+		next atomic.Int64 // block cursor
+		wg   sync.WaitGroup
+
+		// mu guards the pending set and the frontier; emit and Progress
+		// run under it, which is what serializes them.
+		mu       sync.Mutex
+		pending  = make(map[int]StreamRecord)
+		frontier = first
+		emitted  int
+	)
+	next.Store(int64(first))
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One PRNG, one scratch closure and (when hooked) one state
+			// value per worker, reseeded / rewritten per trial instead of
+			// reallocated. FastReseed swaps the source for the splittable
+			// PCG64 whose Seed is O(1) instead of a 607-word table init;
+			// the stream changes, the determinism contract does not.
+			var rng *rand.Rand
+			if cfg.FastReseed {
+				rng = rand.New(new(pcgSource))
+			} else {
+				rng = rand.New(rand.NewSource(0))
+			}
+			var state any
+			if cfg.WorkerState != nil {
+				state = cfg.WorkerState()
+			}
+			eval := newEval()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				b := int(next.Add(1)) - 1
+				if b >= last {
+					return
+				}
+				lo, hi := blockBounds(b, n)
+				rec, ok := eval(state, rng, b, lo, hi)
+				if !ok {
+					return
+				}
+				mu.Lock()
+				pending[b] = rec
+				for {
+					r, ready := pending[frontier]
+					if !ready {
+						break
+					}
+					delete(pending, frontier)
+					emitted += trialsIn(frontier, frontier+1, n)
+					frontier++
+					emit(r)
+					if cfg.Progress != nil {
+						cfg.Progress(emitted, rangeTrials)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return emitted
+}
+
+// foldPlain replays the serial left-fold over plain-stream records in
+// block order — the one merge tree every execution shape (any worker
+// count, any shard partition, resumed or not) reduces through, which is
+// why all of them are bit-identical.
+func foldPlain(recs []StreamRecord, nobs int, collect bool) *VectorResult {
+	res := &VectorResult{Stats: make([]stats.Welford, nobs)}
+	if !collect {
+		res.Quantiles = make([]QuantileSketch, nobs)
+		for j := range res.Quantiles {
+			res.Quantiles[j] = newQuantileSketch()
+		}
+	}
+	for _, b := range recs {
+		for j := range res.Stats {
+			res.Stats[j].Merge(b.Agg[j])
+		}
+		for j := range b.Quant {
+			res.Quantiles[j].merge(b.Quant[j])
+		}
+		res.Rejected += b.Rejected
+	}
+	if collect {
+		res.Values = make([][]float64, nobs)
+		acc := res.Stats[0].N()
+		for j := range res.Values {
+			res.Values[j] = make([]float64, 0, acc)
+		}
+		for _, b := range recs {
+			for t := 0; t*nobs < len(b.Values); t++ {
+				for j := 0; j < nobs; j++ {
+					res.Values[j] = append(res.Values[j], b.Values[t*nobs+j])
+				}
+			}
+		}
+	}
+	return res
+}
+
+// foldPaired is foldPlain for paired (control-variate) streams.
+func foldPaired(recs []StreamRecord, nobs int) *CVVectorResult {
+	res := &CVVectorResult{
+		VectorResult: VectorResult{
+			Stats:     make([]stats.Welford, nobs),
+			Quantiles: make([]QuantileSketch, nobs),
+		},
+		CV: make([]stats.ControlVariate, nobs),
+	}
+	for j := range res.Quantiles {
+		res.Quantiles[j] = newQuantileSketch()
+	}
+	for _, b := range recs {
+		for j := range res.CV {
+			res.CV[j].Merge(b.CV[j])
+			res.Quantiles[j].merge(b.Quant[j])
+		}
+		res.Rejected += b.Rejected
+	}
+	for j := range res.Stats {
+		res.Stats[j] = res.CV[j].Primary()
+	}
+	return res
+}

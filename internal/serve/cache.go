@@ -20,30 +20,36 @@ type resultCache struct {
 }
 
 type cacheEntry struct {
-	key  string
-	body []byte
+	key string
+	// workload travels with the body so status-shaped responses about a
+	// cached run (the SSE "done" frame) carry the same fields as the
+	// live-run path without reparsing the rendered JSON.
+	workload string
+	body     []byte
 }
 
 func newResultCache(max int) *resultCache {
 	return &resultCache{max: max, order: list.New(), items: make(map[string]*list.Element)}
 }
 
-// Get returns the cached body for key, promoting it to most recent.
-func (c *resultCache) Get(key string) ([]byte, bool) {
+// Get returns the cached body and workload for key, promoting it to most
+// recent.
+func (c *resultCache) Get(key string) ([]byte, string, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return nil, false
+		return nil, "", false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).body, true
+	e := el.Value.(*cacheEntry)
+	return e.body, e.workload, true
 }
 
 // Add stores body under key, evicting least-recently-used entries beyond
 // the bound. Re-adding an existing key refreshes its recency; the body
 // is identical by construction (equal keys ⇒ byte-identical results).
-func (c *resultCache) Add(key string, body []byte) {
+func (c *resultCache) Add(key, workload string, body []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
@@ -51,7 +57,7 @@ func (c *resultCache) Add(key string, body []byte) {
 		el.Value.(*cacheEntry).body = body
 		return
 	}
-	c.items[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, workload: workload, body: body})
 	for c.order.Len() > c.max {
 		back := c.order.Back()
 		c.order.Remove(back)

@@ -14,8 +14,9 @@ import (
 // Run lifecycle. A run is identified by its content address (the
 // core.RunSpec key): identical submissions — concurrent or repeated —
 // resolve to the same run record while it is in flight (single-flight)
-// and to the same cached body afterwards. Failed runs are not retained:
-// waiters and subscribers receive the error, nothing is cached, and a
+// and to the same cached body afterwards. Failed runs keep their record
+// (bounded, see maxFailedRetained) so status queries answer "failed"
+// with the error instead of 404, but their bodies are never cached: a
 // re-submission executes again (errors are usually transient — a
 // timeout, a canceled context — while results are forever).
 
@@ -26,7 +27,12 @@ const (
 	statusQueued  runStatus = "queued"
 	statusRunning runStatus = "running"
 	statusDone    runStatus = "done"
+	statusFailed  runStatus = "failed"
 )
+
+// maxFailedRetained bounds the failed-run records kept for status
+// queries; beyond it the oldest failures are forgotten (and 404 again).
+const maxFailedRetained = 64
 
 // progressPoint is one (done, total) progress observation.
 type progressPoint struct {
@@ -66,11 +72,12 @@ func (r *run) setRunning() {
 	r.mu.Unlock()
 }
 
-// snapshot returns the current status and progress consistently.
-func (r *run) snapshot() (runStatus, progressPoint) {
+// snapshot returns the current status, progress and terminal error
+// consistently.
+func (r *run) snapshot() (runStatus, progressPoint, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.status, r.progress
+	return r.status, r.progress, r.err
 }
 
 // publishProgress is the engines' progress callback: both engines
@@ -105,10 +112,15 @@ func (r *run) unsubscribe(ch chan progressPoint) {
 	r.mu.Unlock()
 }
 
-// finish publishes the terminal state and wakes every waiter.
+// finish publishes the terminal state — done or failed — and wakes every
+// waiter.
 func (r *run) finish(body []byte, err error) {
 	r.mu.Lock()
-	r.status = statusDone
+	if err != nil {
+		r.status = statusFailed
+	} else {
+		r.status = statusDone
+	}
 	r.body, r.err = body, err
 	r.mu.Unlock()
 	close(r.done)
@@ -126,21 +138,44 @@ func (s *Server) worker() {
 
 // execute runs one spec through core with the per-run budget, renders
 // the deterministic result body, caches it on success, and retires the
-// in-flight record. The run context derives from the server's base
-// context — canceled only by a hard stop, not by a graceful drain, which
-// is what lets Drain finish in-flight work — plus the per-run timeout.
+// in-flight record — publishing the terminal state first, so a status
+// query can never find the key gone before waiters know the outcome.
+// Failures move to the bounded failed table instead of vanishing: GET
+// /v1/runs/{id} answers "failed" with the error rather than 404. The run
+// context derives from the server's base context — canceled only by a
+// hard stop, not by a graceful drain, which is what lets Drain finish
+// in-flight work — plus the per-run timeout.
 func (s *Server) execute(r *run) {
 	r.setRunning()
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RunTimeout)
 	body, err := s.runBody(ctx, r)
 	cancel()
 	if err == nil {
-		s.cache.Add(r.key, body)
+		s.cache.Add(r.key, r.spec.Workload, body)
 	}
+	r.finish(body, err)
 	s.mu.Lock()
 	delete(s.inflight, r.key)
+	if err != nil {
+		s.recordFailedLocked(r)
+	} else {
+		// A success supersedes any stale failure record for the key.
+		delete(s.failed, r.key)
+	}
 	s.mu.Unlock()
-	r.finish(body, err)
+}
+
+// recordFailedLocked retains a failed run for status queries, evicting
+// the oldest record beyond the bound. Caller holds s.mu.
+func (s *Server) recordFailedLocked(r *run) {
+	if _, ok := s.failed[r.key]; !ok {
+		s.failedOrder = append(s.failedOrder, r.key)
+	}
+	s.failed[r.key] = r
+	for len(s.failedOrder) > maxFailedRetained {
+		delete(s.failed, s.failedOrder[0])
+		s.failedOrder = s.failedOrder[1:]
+	}
 }
 
 // runEnvelope is the deterministic result body: every field is a pure

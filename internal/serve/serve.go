@@ -96,8 +96,12 @@ type Server struct {
 
 	mu       sync.Mutex
 	inflight map[string]*run
-	draining bool
-	queue    chan *run
+	// failed retains terminal-error runs (bounded FIFO by failedOrder)
+	// so their status stays queryable; bodies are never cached.
+	failed      map[string]*run
+	failedOrder []string
+	draining    bool
+	queue       chan *run
 
 	workers sync.WaitGroup
 	baseCtx context.Context
@@ -111,6 +115,7 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		cache:    newResultCache(cfg.CacheSize),
 		inflight: make(map[string]*run),
+		failed:   make(map[string]*run),
 		queue:    make(chan *run, cfg.MaxQueue),
 	}
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
@@ -233,21 +238,34 @@ type runRequest struct {
 	FastSeed bool           `json:"fastseed"`
 }
 
-// statusEnvelope reports an in-flight run.
+// statusEnvelope reports a run's lifecycle state. Every status-shaped
+// response — live, failed, or the SSE "done" frame for a cached run —
+// uses this one envelope, so the field set cannot drift between paths.
 type statusEnvelope struct {
 	ID       string         `json:"id"`
 	Status   runStatus      `json:"status"`
 	Workload string         `json:"workload"`
+	Error    string         `json:"error,omitempty"`
 	Progress *progressPoint `json:"progress,omitempty"`
 }
 
 func statusOf(r *run) statusEnvelope {
-	st, p := r.snapshot()
+	st, p, err := r.snapshot()
 	env := statusEnvelope{ID: r.key, Status: st, Workload: r.spec.Workload}
+	if err != nil {
+		env.Error = err.Error()
+	}
 	if p.Total > 0 {
 		env.Progress = &p
 	}
 	return env
+}
+
+// doneEnvelope is the terminal SSE frame for a successful run; the
+// cached-run and live-run paths both build it here so they stay
+// byte-identical.
+func doneEnvelope(id, workload string) statusEnvelope {
+	return statusEnvelope{ID: id, Status: statusDone, Workload: workload}
 }
 
 // handleSubmit validates, content-addresses and executes (or coalesces,
@@ -278,7 +296,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if body, ok := s.cache.Get(key); ok {
+	if body, _, ok := s.cache.Get(key); ok {
 		writeBody(w, "hit", started, body)
 		return
 	}
@@ -315,21 +333,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 // ------------------------------------------------------------ run fetch
 
 // handleRun serves a finished run from the cache (byte-identical to the
-// submission response) or the live status of an in-flight one. Failed
-// runs are not retained — their waiters got the error — so an unknown id
-// is simply 404.
+// submission response), the live status of an in-flight one, or the
+// failed status (with the error) of a recently failed one. Only an id
+// that was never submitted — or aged out of the bounded failure table or
+// the cache — is 404.
 func (s *Server) handleRun(w http.ResponseWriter, req *http.Request) {
 	started := time.Now()
 	id := req.PathValue("id")
-	if body, ok := s.cache.Get(id); ok {
+	if body, _, ok := s.cache.Get(id); ok {
 		writeBody(w, "hit", started, body)
 		return
 	}
 	s.mu.Lock()
 	r, ok := s.inflight[id]
+	if !ok {
+		r, ok = s.failed[id]
+	}
 	s.mu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown run %q (finished-and-evicted, failed, or never submitted)", id)
+		writeError(w, http.StatusNotFound, "unknown run %q (finished-and-evicted or never submitted)", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, statusOf(r))
@@ -357,9 +379,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
 	}
 	s.mu.Lock()
 	r, inflight := s.inflight[id]
+	failed, wasFailed := s.failed[id]
 	s.mu.Unlock()
-	_, cached := s.cache.Get(id)
-	if !inflight && !cached {
+	_, workload, cached := s.cache.Get(id)
+	if !inflight && !cached && !wasFailed {
 		writeError(w, http.StatusNotFound, "unknown run %q", id)
 		return
 	}
@@ -369,7 +392,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
 	h.Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 	if !inflight {
-		sseEvent(w, f, "done", statusEnvelope{ID: id, Status: statusDone})
+		// Terminal frames for finished runs, identical to what a live
+		// subscriber received: "done" for a cached result (same envelope,
+		// workload included), "error" for a retained failure.
+		if cached {
+			sseEvent(w, f, "done", doneEnvelope(id, workload))
+		} else {
+			sseEvent(w, f, "error", errorEnvelope{Error: failed.err.Error()})
+		}
 		return
 	}
 	sub := r.subscribe()
@@ -383,7 +413,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
 			if r.err != nil {
 				sseEvent(w, f, "error", errorEnvelope{Error: r.err.Error()})
 			} else {
-				sseEvent(w, f, "done", statusEnvelope{ID: r.key, Status: statusDone, Workload: r.spec.Workload})
+				sseEvent(w, f, "done", doneEnvelope(r.key, r.spec.Workload))
 			}
 			return
 		case <-req.Context().Done():

@@ -523,10 +523,10 @@ func TestSSEProgress(t *testing.T) {
 		t.Fatalf("initial frame drifted: %q", first)
 	}
 	release("sse")
-	var sawDone bool
+	var liveDone string
 	for f := range frames {
 		if strings.Contains(f, "event: done") {
-			sawDone = true
+			liveDone = f
 			if !strings.Contains(f, env.ID) {
 				t.Errorf("done frame missing run id: %q", f)
 			}
@@ -536,15 +536,23 @@ func TestSSEProgress(t *testing.T) {
 			t.Errorf("unexpected frame: %q", f)
 		}
 	}
-	if !sawDone {
+	if liveDone == "" {
 		t.Fatal("stream ended without a done event")
+	}
+	if !strings.Contains(liveDone, `"workload":"testslow"`) {
+		t.Fatalf("live done frame missing workload: %q", liveDone)
 	}
 	sresp.Body.Close()
 
-	// A finished run's stream answers done immediately.
+	// A finished run's stream answers done immediately — and the frame is
+	// byte-identical to the one the live subscriber received (same
+	// envelope, workload included), not a thinner cached-path variant.
 	resp2, b2 := getJSON(t, ts.URL+"/v1/runs/"+env.ID+"/events")
 	if resp2.StatusCode != http.StatusOK || !strings.Contains(string(b2), "event: done") {
 		t.Fatalf("cached-run stream: %d %q", resp2.StatusCode, b2)
+	}
+	if cachedDone := strings.TrimSpace(string(b2)); cachedDone != strings.TrimSpace(liveDone) {
+		t.Errorf("cached-run done frame diverged from the live one:\ncached %q\n  live %q", cachedDone, liveDone)
 	}
 	if resp3, _ := getJSON(t, ts.URL+"/v1/runs/no-such-run/events"); resp3.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown run events: %d", resp3.StatusCode)
@@ -552,7 +560,10 @@ func TestSSEProgress(t *testing.T) {
 }
 
 // TestFailureNotCached: a failing run answers 500 with the workload's
-// error, is not retained, and a re-submission executes again.
+// error and its body is never cached — a re-submission executes again —
+// but the failure itself stays queryable: GET /v1/runs/{id} reports
+// status "failed" with the error (not 404), and the SSE stream answers a
+// terminal error frame.
 func TestFailureNotCached(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	before := execCount("fail").Load()
@@ -561,8 +572,22 @@ func TestFailureNotCached(t *testing.T) {
 		t.Fatalf("failed run: %d %s", resp.StatusCode, b)
 	}
 	id := specKey(t, core.RunSpec{Workload: "testfail"})
-	if resp, _ := getJSON(t, ts.URL+"/v1/runs/"+id); resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("failed run retained: %d", resp.StatusCode)
+	sresp, sb := getJSON(t, ts.URL+"/v1/runs/"+id)
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("failed-run status: %d %s", sresp.StatusCode, sb)
+	}
+	var st statusEnvelope
+	if err := json.Unmarshal(sb, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != statusFailed || st.Workload != "testfail" ||
+		!strings.Contains(st.Error, "deliberate failure") {
+		t.Fatalf("failed-run envelope drifted: %+v", st)
+	}
+	eresp, eb := getJSON(t, ts.URL+"/v1/runs/"+id+"/events")
+	if eresp.StatusCode != http.StatusOK || !strings.Contains(string(eb), "event: error") ||
+		!strings.Contains(string(eb), "deliberate failure") {
+		t.Fatalf("failed-run events: %d %q", eresp.StatusCode, eb)
 	}
 	if resp, _ := postRun(t, ts, "", `{"workload":"testfail"}`); resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("re-submission: %d", resp.StatusCode)
@@ -572,26 +597,54 @@ func TestFailureNotCached(t *testing.T) {
 	}
 }
 
-// TestResultCacheLRU pins the eviction order of the bounded cache.
+// TestFailedTableBounded pins the failure-retention bound: the oldest
+// records age out FIFO and answer 404 again.
+func TestFailedTableBounded(t *testing.T) {
+	s := New(Config{})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+	})
+	s.mu.Lock()
+	for i := 0; i < maxFailedRetained+3; i++ {
+		r := newRun(fmt.Sprintf("key-%03d", i), core.RunSpec{Workload: "testfail"})
+		r.finish(nil, fmt.Errorf("boom %d", i))
+		s.recordFailedLocked(r)
+	}
+	if len(s.failed) != maxFailedRetained || len(s.failedOrder) != maxFailedRetained {
+		s.mu.Unlock()
+		t.Fatalf("bound drifted: %d records, %d order", len(s.failed), len(s.failedOrder))
+	}
+	_, oldest := s.failed["key-000"]
+	_, newest := s.failed[fmt.Sprintf("key-%03d", maxFailedRetained+2)]
+	s.mu.Unlock()
+	if oldest || !newest {
+		t.Fatalf("FIFO eviction drifted: oldest retained=%v newest retained=%v", oldest, newest)
+	}
+}
+
+// TestResultCacheLRU pins the eviction order of the bounded cache and
+// that the workload rides along with the body.
 func TestResultCacheLRU(t *testing.T) {
 	c := newResultCache(2)
-	c.Add("a", []byte("A"))
-	c.Add("b", []byte("B"))
-	if _, ok := c.Get("a"); !ok { // promote a
+	c.Add("a", "wa", []byte("A"))
+	c.Add("b", "wb", []byte("B"))
+	if _, _, ok := c.Get("a"); !ok { // promote a
 		t.Fatal("a missing")
 	}
-	c.Add("c", []byte("C")) // evicts b (LRU)
-	if _, ok := c.Get("b"); ok {
+	c.Add("c", "wc", []byte("C")) // evicts b (LRU)
+	if _, _, ok := c.Get("b"); ok {
 		t.Fatal("b not evicted")
 	}
-	if v, ok := c.Get("a"); !ok || string(v) != "A" {
-		t.Fatal("a lost")
+	if v, wl, ok := c.Get("a"); !ok || string(v) != "A" || wl != "wa" {
+		t.Fatalf("a lost or workload drifted: %q %q", v, wl)
 	}
 	if c.Len() != 2 {
 		t.Fatalf("len %d", c.Len())
 	}
-	c.Add("a", []byte("A2")) // refresh in place
-	if v, _ := c.Get("a"); string(v) != "A2" || c.Len() != 2 {
+	c.Add("a", "wa", []byte("A2")) // refresh in place
+	if v, _, _ := c.Get("a"); string(v) != "A2" || c.Len() != 2 {
 		t.Fatalf("refresh drifted: %q len %d", v, c.Len())
 	}
 }

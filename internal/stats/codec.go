@@ -1,0 +1,267 @@
+// Stable, versioned binary encodings for the mergeable accumulators —
+// the serialization surface the shard/checkpoint machinery rests on.
+// Every codec round-trips exactly: decode(encode(x)) reproduces the
+// accumulator bit for bit (float fields travel as raw IEEE-754 bits,
+// never through decimal formatting), so an aggregate that crossed a
+// process or machine boundary merges bit-identically to one that never
+// left memory. That property is fuzz-gated (FuzzWelfordCodec,
+// FuzzP2Codec, FuzzControlVariateCodec) because the distributed
+// reducer's whole bit-identity contract collapses if it ever breaks.
+//
+// Formats are versioned with a leading byte per accumulator; decoding a
+// different version or a truncated buffer fails loudly. Changing a
+// field layout requires a new version byte — old artifacts must never
+// decode silently wrong.
+package stats
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Codec version bytes. Bump when the corresponding field layout changes.
+const (
+	welfordCodecVersion        = 1
+	p2CodecVersion             = 1
+	controlVariateCodecVersion = 1
+)
+
+// Encoded sizes (version byte included) — handy for sizing buffers.
+const (
+	WelfordEncodedSize        = 1 + 5*8
+	P2EncodedSize             = 1 + 2*8 + 4*5*8
+	ControlVariateEncodedSize = 1 + 2*WelfordEncodedSize + 8
+)
+
+// AppendU64 / AppendF64 are the primitive writers: fixed-width
+// big-endian, floats as raw IEEE-754 bits.
+func AppendU64(b []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(b, v)
+}
+
+func AppendF64(b []byte, v float64) []byte {
+	return AppendU64(b, math.Float64bits(v))
+}
+
+// CodecReader consumes a buffer with truncation checking.
+type CodecReader struct {
+	buf []byte
+	err error
+}
+
+// NewCodecReader wraps data for streaming multi-record decodes (the
+// shard artifact reader). Reads latch the first error; check Err after.
+func NewCodecReader(data []byte) *CodecReader { return &CodecReader{buf: data} }
+
+// Err returns the first decode error, if any.
+func (r *CodecReader) Err() error { return r.err }
+
+// Rest returns the number of unconsumed bytes.
+func (r *CodecReader) Rest() int { return len(r.buf) }
+
+// U8 reads one byte; what names the enclosing record for the error text.
+func (r *CodecReader) U8(what string) byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 1 {
+		r.err = fmt.Errorf("stats: truncated %s encoding", what)
+		return 0
+	}
+	v := r.buf[0]
+	r.buf = r.buf[1:]
+	return v
+}
+
+// U64 reads one big-endian uint64.
+func (r *CodecReader) U64(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 8 {
+		r.err = fmt.Errorf("stats: truncated %s encoding", what)
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf)
+	r.buf = r.buf[8:]
+	return v
+}
+
+// F64 reads one float64 from its raw IEEE-754 bits.
+func (r *CodecReader) F64(what string) float64 {
+	return math.Float64frombits(r.U64(what))
+}
+
+// AppendBinary appends the versioned encoding of w to b.
+func (w Welford) AppendBinary(b []byte) []byte {
+	b = append(b, welfordCodecVersion)
+	b = AppendU64(b, uint64(w.n))
+	b = AppendF64(b, w.mean)
+	b = AppendF64(b, w.m2)
+	b = AppendF64(b, w.min)
+	b = AppendF64(b, w.max)
+	return b
+}
+
+// MarshalBinary encodes w (encoding.BinaryMarshaler).
+func (w Welford) MarshalBinary() ([]byte, error) {
+	return w.AppendBinary(make([]byte, 0, WelfordEncodedSize)), nil
+}
+
+// Decode consumes one Welford encoding from the reader.
+func (w *Welford) Decode(r *CodecReader) {
+	if v := r.U8("Welford"); r.err == nil && v != welfordCodecVersion {
+		r.err = fmt.Errorf("stats: Welford codec version %d, want %d", v, welfordCodecVersion)
+		return
+	}
+	w.n = int(r.U64("Welford"))
+	w.mean = r.F64("Welford")
+	w.m2 = r.F64("Welford")
+	w.min = r.F64("Welford")
+	w.max = r.F64("Welford")
+}
+
+// UnmarshalBinary decodes an encoding produced by MarshalBinary; extra
+// trailing bytes are rejected (the accumulator is a fixed-size record).
+func (w *Welford) UnmarshalBinary(data []byte) error {
+	r := &CodecReader{buf: data}
+	var tmp Welford
+	tmp.Decode(r)
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.buf) != 0 {
+		return fmt.Errorf("stats: %d trailing bytes after Welford encoding", len(r.buf))
+	}
+	*w = tmp
+	return nil
+}
+
+// AppendBinary appends the versioned encoding of e to b.
+func (e P2) AppendBinary(b []byte) []byte {
+	b = append(b, p2CodecVersion)
+	b = AppendF64(b, e.p)
+	b = AppendU64(b, uint64(e.n))
+	for _, v := range e.q {
+		b = AppendF64(b, v)
+	}
+	for _, v := range e.pos {
+		b = AppendF64(b, v)
+	}
+	for _, v := range e.des {
+		b = AppendF64(b, v)
+	}
+	for _, v := range e.inc {
+		b = AppendF64(b, v)
+	}
+	return b
+}
+
+// MarshalBinary encodes e (encoding.BinaryMarshaler).
+func (e P2) MarshalBinary() ([]byte, error) {
+	return e.AppendBinary(make([]byte, 0, P2EncodedSize)), nil
+}
+
+// Decode consumes one P2 encoding from the reader.
+func (e *P2) Decode(r *CodecReader) {
+	if v := r.U8("P2"); r.err == nil && v != p2CodecVersion {
+		r.err = fmt.Errorf("stats: P2 codec version %d, want %d", v, p2CodecVersion)
+		return
+	}
+	e.p = r.F64("P2")
+	e.n = int(r.U64("P2"))
+	for i := range e.q {
+		e.q[i] = r.F64("P2")
+	}
+	for i := range e.pos {
+		e.pos[i] = r.F64("P2")
+	}
+	for i := range e.des {
+		e.des[i] = r.F64("P2")
+	}
+	for i := range e.inc {
+		e.inc[i] = r.F64("P2")
+	}
+}
+
+// UnmarshalBinary decodes an encoding produced by MarshalBinary.
+func (e *P2) UnmarshalBinary(data []byte) error {
+	r := &CodecReader{buf: data}
+	var tmp P2
+	tmp.Decode(r)
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.buf) != 0 {
+		return fmt.Errorf("stats: %d trailing bytes after P2 encoding", len(r.buf))
+	}
+	*e = tmp
+	return nil
+}
+
+// AppendBinary appends the versioned encoding of c to b.
+func (c ControlVariate) AppendBinary(b []byte) []byte {
+	b = append(b, controlVariateCodecVersion)
+	b = c.y.AppendBinary(b)
+	b = c.x.AppendBinary(b)
+	b = AppendF64(b, c.cxy)
+	return b
+}
+
+// MarshalBinary encodes c (encoding.BinaryMarshaler).
+func (c ControlVariate) MarshalBinary() ([]byte, error) {
+	return c.AppendBinary(make([]byte, 0, ControlVariateEncodedSize)), nil
+}
+
+// Decode consumes one ControlVariate encoding from the reader.
+func (c *ControlVariate) Decode(r *CodecReader) {
+	if v := r.U8("ControlVariate"); r.err == nil && v != controlVariateCodecVersion {
+		r.err = fmt.Errorf("stats: ControlVariate codec version %d, want %d", v, controlVariateCodecVersion)
+		return
+	}
+	c.y.Decode(r)
+	c.x.Decode(r)
+	c.cxy = r.F64("ControlVariate")
+}
+
+// UnmarshalBinary decodes an encoding produced by MarshalBinary.
+func (c *ControlVariate) UnmarshalBinary(data []byte) error {
+	r := &CodecReader{buf: data}
+	var tmp ControlVariate
+	tmp.Decode(r)
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.buf) != 0 {
+		return fmt.Errorf("stats: %d trailing bytes after ControlVariate encoding", len(r.buf))
+	}
+	*c = tmp
+	return nil
+}
+
+// DecodeWelford consumes one Welford encoding from the front of data,
+// returning the remainder — the streaming form the artifact reader uses.
+func DecodeWelford(data []byte) (Welford, []byte, error) {
+	r := &CodecReader{buf: data}
+	var w Welford
+	w.Decode(r)
+	return w, r.buf, r.err
+}
+
+// DecodeP2 consumes one P2 encoding from the front of data.
+func DecodeP2(data []byte) (P2, []byte, error) {
+	r := &CodecReader{buf: data}
+	var e P2
+	e.Decode(r)
+	return e, r.buf, r.err
+}
+
+// DecodeControlVariate consumes one ControlVariate encoding from the
+// front of data.
+func DecodeControlVariate(data []byte) (ControlVariate, []byte, error) {
+	r := &CodecReader{buf: data}
+	var c ControlVariate
+	c.Decode(r)
+	return c, r.buf, r.err
+}
