@@ -362,6 +362,10 @@ func serveMain(args []string) {
 	runTimeout := fs.Duration("run-timeout", 15*time.Minute, "per-run wall-clock budget")
 	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown budget before in-flight runs are canceled")
 	engineWorkers := fs.Int("engine-workers", 0, "worker count inside each run's engines (0 = all CPUs; never changes results)")
+	fanout := fs.Int("fanout", 0, "shard count heavy runs fan out into (0 = the pool size, 1 = disabled; never changes response bytes)")
+	fanoutMinSamples := fs.Int("fanout-min-samples", 0, "estimated-cost threshold (samples x workload cost hint) above which a run fans out (0 = 50000)")
+	fanoutExec := fs.String("fanout-exec", "goroutine", "shard execution vehicle: goroutine (in-process) or process (mpvar shard children, crash-isolated)")
+	fanoutDir := fs.String("fanout-dir", "", "scratch dir for shard artifacts and drain checkpoints (default <tmp>/mpvar-fanout; reuse it across restarts to resume)")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mpvar serve [flags]\n\nserve the workload registry over HTTP/JSON (endpoints in API.md)\n\nflags:\n")
 		fs.SetOutput(os.Stderr)
@@ -371,17 +375,29 @@ func serveMain(args []string) {
 	if fs.NArg() > 0 {
 		fatal(fmt.Errorf("unexpected argument %q after serve", fs.Arg(0)))
 	}
+	if *fanoutExec != "goroutine" && *fanoutExec != "process" {
+		fatal(fmt.Errorf("unknown -fanout-exec %q (goroutine or process)", *fanoutExec))
+	}
+	bin, err := os.Executable()
+	if err != nil {
+		bin = os.Args[0]
+	}
 	srv := serve.New(serve.Config{
-		Workers:       *workers,
-		MaxQueue:      *maxQueue,
-		CacheSize:     *cacheSize,
-		RunTimeout:    *runTimeout,
-		DrainTimeout:  *drainTimeout,
-		EngineWorkers: *engineWorkers,
+		Workers:          *workers,
+		MaxQueue:         *maxQueue,
+		CacheSize:        *cacheSize,
+		RunTimeout:       *runTimeout,
+		DrainTimeout:     *drainTimeout,
+		EngineWorkers:    *engineWorkers,
+		Fanout:           *fanout,
+		FanoutMinSamples: *fanoutMinSamples,
+		FanoutExec:       *fanoutExec,
+		FanoutDir:        *fanoutDir,
+		FanoutBinary:     bin,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	err := srv.ListenAndServe(ctx, *addr, func(a net.Addr) {
+	err = srv.ListenAndServe(ctx, *addr, func(a net.Addr) {
 		fmt.Printf("mpvar serve: listening on http://%s\n", a)
 	})
 	if err != nil {

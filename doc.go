@@ -145,6 +145,24 @@
 // code (CI proves both by cmp: a 3-shard reduce and a SIGINT-resume
 // against the unsharded output).
 //
+// The serve layer closes the loop with a fan-out executor
+// (internal/serve/fanout.go): a submission whose estimated cost
+// (normalized samples × the workload's Hints.Cost weight) crosses a
+// threshold is dispatched as N concurrent shard executions — goroutines
+// by default, opt-in `mpvar shard` child processes (-fanout-exec=process)
+// whose crashes cost one shard attempt, not the server — and reduced
+// through the same exact left-fold replay, so the response body is
+// byte-identical to direct execution and lands in the same cache entry:
+// fan-out is pure execution detail, invisible in the run key (the
+// X-Mpvar-Fanout header is the only trace). The whole fan-out occupies
+// one executor slot; per-shard frontiers aggregate into one monotone SSE
+// progress stream; failed shards re-dispatch from their persisted
+// checkpoint; and a graceful drain cancels only fan-out runs, leaving
+// every shard's frontier checkpointed in -fanout-dir so a restarted
+// server pointed at the same directory resumes instead of recomputing
+// (CI proves the bytes, the drain checkpoints and the restart-resume
+// over the real binary).
+//
 // The benchmark harness in bench_test.go regenerates every table and
 // figure of the paper's evaluation section; run
 //

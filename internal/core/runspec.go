@@ -92,6 +92,25 @@ func (s RunSpec) Normalize() (RunSpec, error) {
 	return out, nil
 }
 
+// EstimatedCost scores a spec's execution cost in analytic-trial
+// equivalents: the normalized sample budget times the workload's
+// Hints.Cost weight. Zero means the workload declared no per-sample cost
+// — its runtime is not dominated by the shardable Monte-Carlo stream
+// (analytic corner studies, pure SPICE sweeps, registry listings) — so
+// schedulers deciding whether to fan a run out over shards should leave
+// it single-process.
+func (s RunSpec) EstimatedCost() (float64, error) {
+	n, err := s.Normalize()
+	if err != nil {
+		return 0, err
+	}
+	w, err := exp.LookupWorkload(n.Workload)
+	if err != nil {
+		return 0, err
+	}
+	return float64(n.Samples) * w.Hints.Cost, nil
+}
+
 // canonical renders a normalized spec as the frozen pre-image of Key.
 func (s RunSpec) canonical() string {
 	return fmt.Sprintf("mpsram-run|engine=%s|workload=%s|process=%s|seed=%d|samples=%d|fastseed=%t|params=%s",

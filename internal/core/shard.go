@@ -31,6 +31,14 @@ import (
 // change gets a new magic, old files refuse loudly.
 var shardMagic = []byte("mpshard1")
 
+// ShardArtifactName is the conventional artifact filename for one shard
+// of a run: the run key plus the shard coordinates, so a scratch
+// directory shared between restarts (the serve layer's fan-out dir) maps
+// each in-flight shard to exactly one resumable file.
+func ShardArtifactName(runKey string, index, count int) string {
+	return fmt.Sprintf("%s.shard%d-of%d", runKey, index, count)
+}
+
 // ShardHeader is the artifact's identity block.
 type ShardHeader struct {
 	RunKey        string     `json:"run_key"`
@@ -126,6 +134,13 @@ type ShardRunOptions struct {
 	// after its frontier instead of starting over. A complete artifact
 	// short-circuits to success; a missing file starts fresh.
 	Resume bool
+	// Progress, if non-nil, receives the shard's trial frontier (done and
+	// total trials across the streams begun so far, resumed records
+	// included) each time it advances — serialized by the scheduler, like
+	// CheckpointEvery's writes. It is also invoked once before execution
+	// starts, so a resumed shard reports its checkpointed frontier
+	// immediately.
+	Progress func(done, total int)
 }
 
 // RunShard executes the shard's block range of every stream in the
@@ -175,6 +190,10 @@ func RunShard(spec RunSpec, shard mc.ShardSpec, path string, opt ShardRunOptions
 		if sr, err = mc.NewShardRun(shard); err != nil {
 			return err
 		}
+	}
+	sr.Progress = opt.Progress
+	if opt.Progress != nil {
+		opt.Progress(sr.Frontier())
 	}
 	var ckptErr error
 	if opt.CheckpointEvery > 0 {

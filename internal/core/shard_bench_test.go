@@ -1,0 +1,50 @@
+package core
+
+import (
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"mpsram/internal/mc"
+)
+
+// BenchmarkShardRun measures one shard's share of a heavy analytic run:
+// executing 1-of-3 of fig5's Monte-Carlo stream and persisting the
+// artifact. Three of these (parallelizable across cores or hosts) plus
+// one BenchmarkShardReduce replace one direct run.
+func BenchmarkShardRun(b *testing.B) {
+	spec := RunSpec{Workload: "fig5", Samples: 30000}
+	dir := b.TempDir()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		path := filepath.Join(dir, "bench-"+strconv.Itoa(i)+".shard")
+		if err := RunShard(spec, mc.ShardSpec{Index: 0, Count: 3}, path,
+			ShardRunOptions{}, WithWorkers(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardReduce measures the serial tail of a fan-out: replaying
+// three complete fig5 shard artifacts through the exact left-fold into
+// the final result. This is the part that cannot parallelize — its cost
+// relative to BenchmarkShardRun bounds the achievable speedup.
+func BenchmarkShardReduce(b *testing.B) {
+	spec := RunSpec{Workload: "fig5", Samples: 30000}
+	dir := b.TempDir()
+	paths := make([]string, 3)
+	for i := range paths {
+		paths[i] = filepath.Join(dir, "part-"+strconv.Itoa(i)+".shard")
+		if err := RunShard(spec, mc.ShardSpec{Index: i, Count: 3}, paths[i],
+			ShardRunOptions{}, WithWorkers(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Reduce(paths, WithWorkers(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -311,3 +311,11 @@ func TestShardHeaderSpecRoundTrip(t *testing.T) {
 		t.Fatalf("header round trip changed the run key: %s != %s", got, want)
 	}
 }
+
+// TestShardArtifactName pins the scratch-file naming convention the
+// serve layer's fan-out dir relies on across restarts.
+func TestShardArtifactName(t *testing.T) {
+	if got := ShardArtifactName("abc123", 1, 3); got != "abc123.shard1-of3" {
+		t.Fatalf("ShardArtifactName = %q", got)
+	}
+}

@@ -40,7 +40,7 @@ func init() {
 		// smoke override trims the DOE to the two smallest arrays. With
 		// -cv the paired estimator's variance reduction makes ~16 draws
 		// comparable.
-		Hints: Hints{Samples: 120, CVSamples: 16, Smoke: Params{"sizes": "8,16"}},
+		Hints: Hints{Samples: 120, CVSamples: 16, Smoke: Params{"sizes": "8,16"}, Cost: 4000},
 		Run: func(ctx context.Context, e Env, p Params) (*Result, error) {
 			sizes, err := ParseSizes(p.String("sizes"))
 			if err != nil {

@@ -23,6 +23,7 @@ func init() {
 	Register(Workload{
 		Name: "nodes", Summary: "cross-node tdp sigma comparison across the process registry",
 		Order:  100,
+		Hints:  Hints{Cost: 3},
 		Params: []ParamSpec{{Name: "n", Kind: IntParam, Default: NodesN, Help: "array word-line count"}},
 		Run: func(ctx context.Context, e Env, p Params) (*Result, error) {
 			n := p.Int("n")

@@ -89,6 +89,14 @@ type Hints struct {
 	// Smoke holds tiny-budget parameter overrides for registry-iterating
 	// smoke runs (nil = the schema defaults are already cheap).
 	Smoke Params
+	// Cost weighs one Monte-Carlo sample of this workload against one
+	// analytic trial, so schedulers can estimate a submission's total
+	// cost as Samples × Cost before executing it (the serve layer's
+	// fan-out threshold). Zero means the workload's runtime is not
+	// dominated by its shardable Monte-Carlo stream — analytic corner
+	// studies, pure SPICE sweeps, listings — and fan-out must leave it
+	// single-process. Like the budgets, purely descriptive.
+	Cost float64
 }
 
 // Result is what every workload returns: the typed rows (Data), the

@@ -107,6 +107,7 @@ func init() {
 	Register(Workload{
 		Name: "fig5", Summary: "Monte-Carlo tdp distribution",
 		Order: 70, InAll: true,
+		Hints: Hints{Cost: 1},
 		Params: []ParamSpec{
 			paramN(64, "array word-line count"),
 			{Name: "ol", Kind: FloatParam, Default: 0.0,
@@ -127,6 +128,7 @@ func init() {
 	Register(Workload{
 		Name: "table4", Summary: "tdp sigma per option and overlay budget",
 		Order: 80, InAll: true,
+		Hints: Hints{Cost: 1},
 		Run: func(ctx context.Context, e Env, p Params) (*Result, error) {
 			rows, err := Table4(e)
 			if err != nil {
@@ -138,6 +140,7 @@ func init() {
 	Register(Workload{
 		Name: "table4x", Summary: "extended Table IV: tdp sigma across all DOE sizes (shared stream)",
 		Order: 85,
+		Hints: Hints{Cost: 1},
 		Run: func(ctx context.Context, e Env, p Params) (*Result, error) {
 			rows, err := Table4Surface(e)
 			if err != nil {
@@ -149,6 +152,7 @@ func init() {
 	Register(Workload{
 		Name: "table4xp", Summary: "per-process extended Table IV across the node set",
 		Order: 90,
+		Hints: Hints{Cost: 3},
 		Run: func(ctx context.Context, e Env, p Params) (*Result, error) {
 			surfs, err := Table4Surfaces(e)
 			if err != nil {

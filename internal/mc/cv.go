@@ -138,9 +138,7 @@ func RunVectorPaired(ctx context.Context, cfg Config, nobs int, f PairedStateVec
 		first := st.lo + len(st.recs)
 		emitted := runBlocks(ctx, cfg, n, first, st.hi, newEval, func(rec StreamRecord) {
 			st.recs = append(st.recs, rec)
-			if sh.Checkpoint != nil {
-				sh.Checkpoint()
-			}
+			sh.advance()
 		})
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("mc: run canceled after %d of %d trials: %w", trialsIn(st.lo, first, n)+emitted, n, err)

@@ -71,6 +71,11 @@ type ShardRun struct {
 	// decides (e.g. by wall clock) whether to persist the current
 	// payload.
 	Checkpoint func()
+	// Progress, if non-nil, is invoked with Frontier()'s values each time
+	// the frontier advances, before Checkpoint. Calls are serialized by
+	// the scheduler; done is monotone for the life of the capture (resumed
+	// records count from the start), total grows as streams begin.
+	Progress func(done, total int)
 
 	streams []*capturedStream
 	begun   int // streams begun by the current execution
@@ -110,6 +115,31 @@ func ResumeShardRun(spec ShardSpec, p *ShardPayload) (*ShardRun, error) {
 
 // Spec returns the shard coordinates.
 func (sr *ShardRun) Spec() ShardSpec { return sr.spec }
+
+// Frontier reports the capture's overall trial progress: done counts the
+// trials of every recorded block (resumed checkpoints included), total
+// the trials of every begun stream's full block range. Because streams
+// begin lazily, total grows as a multi-stream workload reaches each
+// engine invocation — done never exceeds it and never decreases.
+func (sr *ShardRun) Frontier() (done, total int) {
+	for _, st := range sr.streams {
+		n := st.header.Samples
+		done += trialsIn(st.lo, st.lo+len(st.recs), n)
+		total += trialsIn(st.lo, st.hi, n)
+	}
+	return done, total
+}
+
+// advance is the scheduler's per-block hook: publish the frontier, then
+// give the checkpoint callback its chance. Serialized with emission.
+func (sr *ShardRun) advance() {
+	if sr.Progress != nil {
+		sr.Progress(sr.Frontier())
+	}
+	if sr.Checkpoint != nil {
+		sr.Checkpoint()
+	}
+}
 
 // beginStream matches the next engine invocation against the capture:
 // a resumed stream is revalidated and continued after its frontier, a
@@ -221,6 +251,20 @@ type ShardPayload struct {
 type payloadStream struct {
 	header streamHeader
 	recs   []StreamRecord
+}
+
+// Frontier reports the payload's trial progress for the given shard
+// coordinates — ShardRun.Frontier for an artifact at rest, which is how
+// an external observer (the serve layer polling a child process's
+// checkpoint file) derives progress without attaching to the run.
+func (p *ShardPayload) Frontier(spec ShardSpec) (done, total int) {
+	for _, ps := range p.streams {
+		lo, hi := spec.blockRange(ps.header.nblocks())
+		n := ps.header.Samples
+		done += trialsIn(lo, lo+len(ps.recs), n)
+		total += trialsIn(lo, hi, n)
+	}
+	return done, total
 }
 
 // Payload codec. Like the stats codecs, the format is versioned,

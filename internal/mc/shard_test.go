@@ -490,3 +490,37 @@ func TestShardSpecValidate(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestShardFrontierAccessors pins the external progress surface: the
+// live ShardRun frontier after a completed run covers exactly the
+// shard's trial range, and the at-rest payload (what the serve layer's
+// child-process poller reads) reports the identical frontier.
+func TestShardFrontierAccessors(t *testing.T) {
+	f := func(rng *rand.Rand, out []float64) bool {
+		out[0] = rng.NormFloat64()
+		return true
+	}
+	spec := ShardSpec{Index: 0, Count: 2}
+	sr, err := NewShardRun(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Spec() != spec {
+		t.Fatalf("Spec() %+v, want %+v", sr.Spec(), spec)
+	}
+	cfg := Config{Samples: 1100, Seed: 7, Workers: 1, Shard: sr}
+	if _, err := RunVector(context.Background(), cfg, 1, f); err != nil {
+		t.Fatal(err)
+	}
+	done, total := sr.Frontier()
+	if done != total || done <= 0 || done >= 1100 {
+		t.Fatalf("completed shard frontier (%d, %d): want equal, positive, a strict partial of 1100", done, total)
+	}
+	p, err := DecodeShardPayload(sr.EncodePayload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd, pt := p.Frontier(spec); pd != done || pt != total {
+		t.Fatalf("payload frontier (%d, %d) != live frontier (%d, %d)", pd, pt, done, total)
+	}
+}

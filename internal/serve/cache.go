@@ -3,6 +3,7 @@ package serve
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // resultCache is the content-addressed result store: run key (the
@@ -17,14 +18,20 @@ type resultCache struct {
 	max   int
 	order *list.List // front = most recently used
 	items map[string]*list.Element
+
+	// Lookup counters for /v1/healthz: hits and misses across every
+	// endpoint that consults the cache (submit, fetch, SSE subscribe).
+	hits, misses atomic.Int64
 }
 
 type cacheEntry struct {
 	key string
-	// workload travels with the body so status-shaped responses about a
-	// cached run (the SSE "done" frame) carry the same fields as the
-	// live-run path without reparsing the rendered JSON.
+	// workload and progress travel with the body so status-shaped
+	// responses about a cached run (the SSE "done" frame and the terminal
+	// "progress" frame before it) carry the same fields as the live-run
+	// path without reparsing the rendered JSON.
 	workload string
+	progress progressPoint
 	body     []byte
 }
 
@@ -32,24 +39,26 @@ func newResultCache(max int) *resultCache {
 	return &resultCache{max: max, order: list.New(), items: make(map[string]*list.Element)}
 }
 
-// Get returns the cached body and workload for key, promoting it to most
-// recent.
-func (c *resultCache) Get(key string) ([]byte, string, bool) {
+// Get returns the cached body, workload and terminal progress for key,
+// promoting it to most recent.
+func (c *resultCache) Get(key string) ([]byte, string, progressPoint, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return nil, "", false
+		c.misses.Add(1)
+		return nil, "", progressPoint{}, false
 	}
+	c.hits.Add(1)
 	c.order.MoveToFront(el)
 	e := el.Value.(*cacheEntry)
-	return e.body, e.workload, true
+	return e.body, e.workload, e.progress, true
 }
 
 // Add stores body under key, evicting least-recently-used entries beyond
 // the bound. Re-adding an existing key refreshes its recency; the body
 // is identical by construction (equal keys ⇒ byte-identical results).
-func (c *resultCache) Add(key, workload string, body []byte) {
+func (c *resultCache) Add(key, workload string, body []byte, progress progressPoint) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
@@ -57,7 +66,7 @@ func (c *resultCache) Add(key, workload string, body []byte) {
 		el.Value.(*cacheEntry).body = body
 		return
 	}
-	c.items[key] = c.order.PushFront(&cacheEntry{key: key, workload: workload, body: body})
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, workload: workload, progress: progress, body: body})
 	for c.order.Len() > c.max {
 		back := c.order.Back()
 		c.order.Remove(back)
@@ -70,4 +79,9 @@ func (c *resultCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// Stats reports the lookup counters.
+func (c *resultCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
 }

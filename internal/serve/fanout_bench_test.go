@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"context"
+	"strconv"
+	"testing"
+	"time"
+
+	"mpsram/internal/core"
+)
+
+// BenchmarkServeFanout measures one heavy submission end to end through
+// the executor — direct versus fanned out into 3 shards — with the
+// engine pinned to one worker per shard so the comparison is honest on
+// any core count: on an N-core machine the fanout3 case approaches
+// min(N, 3)× the direct throughput; on one core the two are within the
+// shard/reduce overhead of each other. Seeds vary per iteration so every
+// submission misses the cache and actually executes.
+func BenchmarkServeFanout(b *testing.B) {
+	for _, bc := range []struct {
+		name   string
+		fanout int
+	}{{"direct", 1}, {"fanout3", 3}} {
+		b.Run(bc.name, func(b *testing.B) {
+			s := New(Config{
+				Workers: 1, Fanout: bc.fanout, FanoutMinSamples: 1,
+				EngineWorkers: 1, FanoutDir: b.TempDir(),
+			})
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+				defer cancel()
+				_ = s.Drain(ctx)
+			}()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				spec, err := core.RunSpec{Workload: "fig5", Samples: 30000, Seed: int64(7000 + i)}.Normalize()
+				if err != nil {
+					b.Fatal(err)
+				}
+				key, err := spec.Key()
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, outcome := s.submit(key, spec)
+				if outcome != submitQueued {
+					b.Fatal("submission not queued: " + strconv.Itoa(int(outcome)))
+				}
+				<-r.done
+				if r.err != nil {
+					b.Fatal(r.err)
+				}
+			}
+		})
+	}
+}

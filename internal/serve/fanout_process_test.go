@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpsram/internal/core"
+	"mpsram/internal/mc"
+)
+
+// buildMpvar compiles the real mpvar binary into a test temp dir. The go
+// build cache makes this cheap after the first run; process-mode fan-out
+// is meaningless against anything but the actual CLI.
+func buildMpvar(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mpvar")
+	cmd := exec.Command("go", "build", "-o", bin, "mpsram/cmd/mpvar")
+	cmd.Dir = filepath.Join("..", "..")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build mpvar: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestFanoutProcessExec drives the opt-in child-process vehicle end to
+// end over the real binary: the fanned body is byte-identical to direct
+// execution (the child recomputes the identical run key from the
+// re-serialized spec), and the child's failure modes surface as shard
+// errors — a missing binary (spawn failure) and a child that exits
+// non-zero with its stderr tail attached.
+func TestFanoutProcessExec(t *testing.T) {
+	body := `{"workload":"fig5","samples":6000}`
+	direct := directBody(t, body)
+
+	bin := buildMpvar(t)
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{
+		Workers: 1, Fanout: 2, FanoutMinSamples: 1, EngineWorkers: 1,
+		FanoutDir: dir, FanoutExec: "process", FanoutBinary: bin,
+	})
+	if _, ok := s.shardRunner.(processExec); !ok {
+		t.Fatalf("FanoutExec process wired %T, want processExec", s.shardRunner)
+	}
+	resp, fanned := postRun(t, ts, "", body)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Mpvar-Fanout") != "2" {
+		t.Fatalf("process fan-out: %d fanout %q: %s", resp.StatusCode, resp.Header.Get("X-Mpvar-Fanout"), fanned)
+	}
+	if !bytes.Equal(direct, fanned) {
+		t.Fatalf("process fan-out body diverged from direct execution:\ndirect: %s\nfanned: %s", direct, fanned)
+	}
+
+	// Spawn failure: a binary that does not exist errors without stderr.
+	missing := processExec{bin: filepath.Join(t.TempDir(), "no-such-mpvar"), workers: 1}
+	spec := core.RunSpec{Workload: "fig5", Samples: 100, Seed: 1, Process: "n10",
+		Params: map[string]any{"samples": 100}}
+	shard := mc.ShardSpec{Index: 0, Count: 2}
+	art := filepath.Join(t.TempDir(), "shard.art")
+	if err := missing.runShard(context.Background(), spec, shard, art, nil); err == nil ||
+		!strings.Contains(err.Error(), "shard 0/2 child") {
+		t.Fatalf("missing binary error drifted: %v", err)
+	}
+
+	// Child failure: an unknown workload makes the real binary exit
+	// non-zero; its stderr tail rides the shard error, and the progress
+	// poller starts and stops cleanly with no artifact ever appearing.
+	bad := processExec{bin: bin, workers: 1}
+	badSpec := core.RunSpec{Workload: "no-such-workload", Samples: 100, Seed: 1, Process: "n10"}
+	err := bad.runShard(context.Background(), badSpec, shard, art, func(done, total int) {})
+	if err == nil || !strings.Contains(err.Error(), "shard 0/2 child") ||
+		!strings.Contains(err.Error(), "exit status") {
+		t.Fatalf("failing child error drifted: %v", err)
+	}
+}

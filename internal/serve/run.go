@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mpsram/internal/core"
+	"mpsram/internal/exp"
 	"mpsram/internal/report"
 )
 
@@ -48,6 +49,7 @@ type run struct {
 	mu       sync.Mutex
 	status   runStatus
 	progress progressPoint
+	fanout   int // shards this run fanned out into (0 = direct)
 	subs     map[chan progressPoint]struct{}
 
 	done chan struct{} // closed once body/err are final
@@ -78,6 +80,20 @@ func (r *run) snapshot() (runStatus, progressPoint, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.status, r.progress, r.err
+}
+
+// setFanout records the shard count the executor chose for this run.
+func (r *run) setFanout(n int) {
+	r.mu.Lock()
+	r.fanout = n
+	r.mu.Unlock()
+}
+
+// fanoutWidth reports the recorded shard count (0 for direct execution).
+func (r *run) fanoutWidth() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fanout
 }
 
 // publishProgress is the engines' progress callback: both engines
@@ -147,11 +163,25 @@ func (s *Server) worker() {
 // in-flight work — plus the per-run timeout.
 func (s *Server) execute(r *run) {
 	r.setRunning()
-	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RunTimeout)
-	body, err := s.runBody(ctx, r)
-	cancel()
+	var body []byte
+	var err error
+	if n := s.fanoutShards(r.spec); n > 0 {
+		// Heavy run: fan out over n shards inside this executor slot
+		// (see fanout.go). The fan-out context — not the base context —
+		// governs the shards, so a graceful drain checkpoints them.
+		r.setFanout(n)
+		body, err = s.executeFanout(r, n)
+	} else {
+		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RunTimeout)
+		body, err = s.runBody(ctx, r)
+		cancel()
+	}
 	if err == nil {
-		s.cache.Add(r.key, r.spec.Workload, body)
+		// The terminal progress snapshot travels with the cached body so
+		// the SSE cached path can replay the same 100% frame the live
+		// stream ended with.
+		_, p, _ := r.snapshot()
+		s.cache.Add(r.key, r.spec.Workload, body, p)
 	}
 	r.finish(body, err)
 	s.mu.Lock()
@@ -194,7 +224,7 @@ type runEnvelope struct {
 	Tables   json.RawMessage `json:"tables"`
 }
 
-// runBody executes the spec and renders the envelope.
+// runBody executes the spec directly and renders the envelope.
 func (s *Server) runBody(ctx context.Context, r *run) ([]byte, error) {
 	res, err := r.spec.Run(
 		core.WithContext(ctx),
@@ -204,6 +234,13 @@ func (s *Server) runBody(ctx context.Context, r *run) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.renderBody(r, res)
+}
+
+// renderBody renders a result into the deterministic body — shared by
+// direct execution and the fan-out reduce, which is what makes the two
+// paths byte-identical for the same key.
+func (s *Server) renderBody(r *run, res *exp.Result) ([]byte, error) {
 	tables, err := report.EncodeTables(report.FormatJSON, res.Tables...)
 	if err != nil {
 		return nil, err
@@ -251,7 +288,12 @@ func (s *Server) Drain(ctx context.Context) error {
 
 // beginDrain flips the server into draining mode and closes the queue
 // exactly once. Submissions observe draining under the same lock that
-// guards the queue send, so no submit can race the close.
+// guards the queue send, so no submit can race the close. Fan-out runs
+// are canceled (not awaited): their shards persist frontier checkpoints
+// under FanoutDir and the run fails with a resume hint, so a restarted
+// server pointed at the same directory resumes instead of recomputing —
+// heavy runs are exactly the ones too expensive to block a shutdown on.
+// Direct runs still drain to completion.
 func (s *Server) beginDrain() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -259,6 +301,7 @@ func (s *Server) beginDrain() {
 		return
 	}
 	s.draining = true
+	s.fanoutStop()
 	close(s.queue)
 }
 

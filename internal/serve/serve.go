@@ -36,6 +36,9 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 
@@ -67,6 +70,31 @@ type Config struct {
 	// DrainTimeout bounds ListenAndServe's graceful shutdown; past it,
 	// in-flight runs are hard-canceled (default 2 minutes).
 	DrainTimeout time.Duration
+	// Fanout is the shard count heavy submissions are split into; ≥ 2
+	// enables the fan-out executor, 1 disables it, and 0 (the default)
+	// adopts the executor pool size. Fan-out never changes response
+	// bytes — the reduce replays the exact single-process left-fold —
+	// so it is not part of the run key.
+	Fanout int
+	// FanoutMinSamples is the estimated-cost threshold, in
+	// analytic-trial equivalents (core.RunSpec.EstimatedCost =
+	// normalized samples × the workload's Hints.Cost weight), at or
+	// above which a submission fans out (default 50000). Workloads
+	// without a Cost hint never fan out regardless.
+	FanoutMinSamples int
+	// FanoutExec selects the shard execution vehicle: "goroutine"
+	// (default, in-process) or "process" (spawn `mpvar shard` children
+	// via FanoutBinary; a child crash re-dispatches that shard from its
+	// last checkpoint).
+	FanoutExec string
+	// FanoutDir is the scratch directory for shard artifacts and drain
+	// checkpoints (default <os temp>/mpvar-fanout). A restarted server
+	// pointed at the same directory resumes checkpointed shards instead
+	// of recomputing them.
+	FanoutDir string
+	// FanoutBinary is the mpvar executable for FanoutExec "process"
+	// (default: the current executable).
+	FanoutBinary string
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +112,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 2 * time.Minute
+	}
+	if c.Fanout <= 0 {
+		c.Fanout = c.Workers
+	}
+	if c.FanoutMinSamples <= 0 {
+		c.FanoutMinSamples = defaultFanoutMinSamples
+	}
+	if c.FanoutExec == "" {
+		c.FanoutExec = "goroutine"
+	}
+	if c.FanoutDir == "" {
+		c.FanoutDir = filepath.Join(os.TempDir(), "mpvar-fanout")
 	}
 	return c
 }
@@ -106,6 +146,15 @@ type Server struct {
 	workers sync.WaitGroup
 	baseCtx context.Context
 	stop    context.CancelFunc
+
+	// Fan-out executor state: fanoutCtx cancels on drain — direct runs
+	// finish, fan-out runs checkpoint their shards and fail with a
+	// resume hint — and shardRunner is the execution vehicle (tests may
+	// swap it before serving traffic).
+	fanoutCtx   context.Context
+	fanoutStop  context.CancelFunc
+	shardRunner shardExec
+	fanout      fanoutStats
 }
 
 // New builds a Server and starts its executor pool. Call Drain to stop.
@@ -119,6 +168,16 @@ func New(cfg Config) *Server {
 		queue:    make(chan *run, cfg.MaxQueue),
 	}
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
+	s.fanoutCtx, s.fanoutStop = context.WithCancel(s.baseCtx)
+	if cfg.FanoutExec == "process" {
+		bin := cfg.FanoutBinary
+		if bin == "" {
+			bin, _ = os.Executable()
+		}
+		s.shardRunner = processExec{bin: bin, workers: cfg.EngineWorkers}
+	} else {
+		s.shardRunner = goroutineExec{workers: cfg.EngineWorkers}
+	}
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -195,6 +254,11 @@ type hintsJSON struct {
 	// budget from hints should use this one when they set cv.
 	SamplesCV int            `json:"samples_cv,omitempty"`
 	Smoke     map[string]any `json:"smoke,omitempty"`
+	// Cost weighs one Monte-Carlo sample against one analytic trial
+	// (samples × cost is the fan-out threshold input); absent means the
+	// workload's runtime is not in the shardable Monte-Carlo stream and
+	// the server never fans it out.
+	Cost float64 `json:"cost,omitempty"`
 }
 
 // handleWorkloads serves the registry listing — generated from the same
@@ -213,7 +277,7 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 			Summary: wl.Summary,
 			InAll:   wl.InAll,
 			Params:  []paramJSON{},
-			Hints:   hintsJSON{Samples: wl.Hints.Samples, SamplesCV: wl.Hints.CVSamples, Smoke: wl.Hints.Smoke},
+			Hints:   hintsJSON{Samples: wl.Hints.Samples, SamplesCV: wl.Hints.CVSamples, Smoke: wl.Hints.Smoke, Cost: wl.Hints.Cost},
 		}
 		for _, ps := range wl.Params {
 			wj.Params = append(wj.Params, paramJSON{
@@ -296,7 +360,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if body, _, ok := s.cache.Get(key); ok {
+	if body, _, _, ok := s.cache.Get(key); ok {
 		writeBody(w, "hit", started, body)
 		return
 	}
@@ -327,6 +391,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", r.err)
 		return
 	}
+	if n := r.fanoutWidth(); n > 0 {
+		// Execution detail, like timing: travels in a header, never in
+		// the body (which stays byte-identical to direct execution).
+		w.Header().Set("X-Mpvar-Fanout", strconv.Itoa(n))
+	}
 	writeBody(w, "miss", started, r.body)
 }
 
@@ -340,7 +409,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 func (s *Server) handleRun(w http.ResponseWriter, req *http.Request) {
 	started := time.Now()
 	id := req.PathValue("id")
-	if body, _, ok := s.cache.Get(id); ok {
+	if body, _, _, ok := s.cache.Get(id); ok {
 		writeBody(w, "hit", started, body)
 		return
 	}
@@ -381,7 +450,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
 	r, inflight := s.inflight[id]
 	failed, wasFailed := s.failed[id]
 	s.mu.Unlock()
-	_, workload, cached := s.cache.Get(id)
+	_, workload, terminal, cached := s.cache.Get(id)
 	if !inflight && !cached && !wasFailed {
 		writeError(w, http.StatusNotFound, "unknown run %q", id)
 		return
@@ -393,9 +462,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	if !inflight {
 		// Terminal frames for finished runs, identical to what a live
-		// subscriber received: "done" for a cached result (same envelope,
-		// workload included), "error" for a retained failure.
+		// subscriber received: the 100% "progress" frame (when the run
+		// reported progress at all) then "done" for a cached result,
+		// "error" for a retained failure — so cached and live streams
+		// end frame-compatibly and clients need no special case.
 		if cached {
+			if terminal.Total > 0 {
+				sseEvent(w, f, "progress", terminal)
+			}
 			sseEvent(w, f, "done", doneEnvelope(id, workload))
 		} else {
 			sseEvent(w, f, "error", errorEnvelope{Error: failed.err.Error()})
@@ -413,6 +487,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
 			if r.err != nil {
 				sseEvent(w, f, "error", errorEnvelope{Error: r.err.Error()})
 			} else {
+				// Emit the terminal 100% progress frame before "done" —
+				// the lossy subscriber channel may have dropped it — so
+				// the stream always ends with the same frame pair the
+				// cached path replays.
+				if _, p, _ := r.snapshot(); p.Total > 0 {
+					sseEvent(w, f, "progress", p)
+				}
 				sseEvent(w, f, "done", doneEnvelope(r.key, r.spec.Workload))
 			}
 			return
@@ -424,8 +505,23 @@ func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
 
 // ------------------------------------------------------------ health
 
+// healthFanout is the fan-out block of the healthz body: configuration
+// plus the executor counters that make load behavior under fan-out
+// observable (how many shards are executing right now, how much resumed
+// from checkpoints instead of recomputing, how often children crashed).
+type healthFanout struct {
+	Shards             int    `json:"shards"`
+	Exec               string `json:"exec"`
+	MinSamples         int    `json:"min_samples"`
+	InflightShards     int64  `json:"inflight_shards"`
+	Runs               int64  `json:"runs"`
+	ShardsResumed      int64  `json:"shards_resumed"`
+	ShardsRedispatched int64  `json:"shards_redispatched"`
+}
+
 // handleHealthz reports liveness and the load counters an operator (or a
-// drain test) wants: accepting vs draining, in-flight runs, cache fill.
+// drain test) wants: accepting vs draining, in-flight runs and shards,
+// queue depth, cache fill and hit ratio.
 func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	s.mu.Lock()
 	inflight := len(s.inflight)
@@ -435,14 +531,36 @@ func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	if draining {
 		status = "draining"
 	}
+	hits, misses := s.cache.Stats()
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
 	writeJSON(w, http.StatusOK, struct {
-		Status   string `json:"status"`
-		Engine   string `json:"engine"`
-		Inflight int    `json:"inflight"`
-		Cached   int    `json:"cached"`
-		Workers  int    `json:"workers"`
-		MaxQueue int    `json:"max_queue"`
-	}{status, core.EngineVersion, inflight, s.cache.Len(), s.cfg.Workers, s.cfg.MaxQueue})
+		Status        string       `json:"status"`
+		Engine        string       `json:"engine"`
+		Inflight      int          `json:"inflight"`
+		QueueDepth    int          `json:"queue_depth"`
+		Cached        int          `json:"cached"`
+		CacheHits     int64        `json:"cache_hits"`
+		CacheMisses   int64        `json:"cache_misses"`
+		CacheHitRatio float64      `json:"cache_hit_ratio"`
+		Workers       int          `json:"workers"`
+		MaxQueue      int          `json:"max_queue"`
+		Fanout        healthFanout `json:"fanout"`
+	}{
+		status, core.EngineVersion, inflight, len(s.queue), s.cache.Len(),
+		hits, misses, ratio, s.cfg.Workers, s.cfg.MaxQueue,
+		healthFanout{
+			Shards:             s.cfg.Fanout,
+			Exec:               s.cfg.FanoutExec,
+			MinSamples:         s.cfg.FanoutMinSamples,
+			InflightShards:     s.fanout.inflightShards.Load(),
+			Runs:               s.fanout.runs.Load(),
+			ShardsResumed:      s.fanout.shardsResumed.Load(),
+			ShardsRedispatched: s.fanout.shardsRedispatched.Load(),
+		},
+	})
 }
 
 // ------------------------------------------------------------ serving

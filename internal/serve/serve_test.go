@@ -523,7 +523,7 @@ func TestSSEProgress(t *testing.T) {
 		t.Fatalf("initial frame drifted: %q", first)
 	}
 	release("sse")
-	var liveDone string
+	var liveDone, liveProgress string
 	for f := range frames {
 		if strings.Contains(f, "event: done") {
 			liveDone = f
@@ -532,7 +532,9 @@ func TestSSEProgress(t *testing.T) {
 			}
 			break
 		}
-		if !strings.Contains(f, "event: progress") {
+		if strings.Contains(f, "event: progress") {
+			liveProgress = f
+		} else {
 			t.Errorf("unexpected frame: %q", f)
 		}
 	}
@@ -542,17 +544,24 @@ func TestSSEProgress(t *testing.T) {
 	if !strings.Contains(liveDone, `"workload":"testslow"`) {
 		t.Fatalf("live done frame missing workload: %q", liveDone)
 	}
+	// The live stream must close with a terminal 100% progress frame
+	// immediately before done — not leave the last subscriber-channel
+	// point (which a slow client may have dropped) as the final word.
+	if !strings.Contains(liveProgress, `"done":2`) || !strings.Contains(liveProgress, `"total":2`) {
+		t.Fatalf("live stream's final progress frame is not terminal: %q", liveProgress)
+	}
 	sresp.Body.Close()
 
-	// A finished run's stream answers done immediately — and the frame is
-	// byte-identical to the one the live subscriber received (same
-	// envelope, workload included), not a thinner cached-path variant.
+	// A finished run's stream answers immediately — and the terminal
+	// frame sequence (100% progress, then done) is byte-identical to the
+	// one the live subscriber received, not a thinner cached-path variant.
 	resp2, b2 := getJSON(t, ts.URL+"/v1/runs/"+env.ID+"/events")
 	if resp2.StatusCode != http.StatusOK || !strings.Contains(string(b2), "event: done") {
 		t.Fatalf("cached-run stream: %d %q", resp2.StatusCode, b2)
 	}
-	if cachedDone := strings.TrimSpace(string(b2)); cachedDone != strings.TrimSpace(liveDone) {
-		t.Errorf("cached-run done frame diverged from the live one:\ncached %q\n  live %q", cachedDone, liveDone)
+	wantTail := strings.TrimSpace(liveProgress) + "\n\n" + strings.TrimSpace(liveDone)
+	if cached := strings.TrimSpace(string(b2)); cached != wantTail {
+		t.Errorf("cached-run frames diverged from the live terminal sequence:\ncached %q\n  live %q", cached, wantTail)
 	}
 	if resp3, _ := getJSON(t, ts.URL+"/v1/runs/no-such-run/events"); resp3.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown run events: %d", resp3.StatusCode)
@@ -628,24 +637,28 @@ func TestFailedTableBounded(t *testing.T) {
 // that the workload rides along with the body.
 func TestResultCacheLRU(t *testing.T) {
 	c := newResultCache(2)
-	c.Add("a", "wa", []byte("A"))
-	c.Add("b", "wb", []byte("B"))
-	if _, _, ok := c.Get("a"); !ok { // promote a
+	c.Add("a", "wa", []byte("A"), progressPoint{Done: 2, Total: 2})
+	c.Add("b", "wb", []byte("B"), progressPoint{})
+	if _, _, _, ok := c.Get("a"); !ok { // promote a
 		t.Fatal("a missing")
 	}
-	c.Add("c", "wc", []byte("C")) // evicts b (LRU)
-	if _, _, ok := c.Get("b"); ok {
+	c.Add("c", "wc", []byte("C"), progressPoint{}) // evicts b (LRU)
+	if _, _, _, ok := c.Get("b"); ok {
 		t.Fatal("b not evicted")
 	}
-	if v, wl, ok := c.Get("a"); !ok || string(v) != "A" || wl != "wa" {
-		t.Fatalf("a lost or workload drifted: %q %q", v, wl)
+	if v, wl, p, ok := c.Get("a"); !ok || string(v) != "A" || wl != "wa" || p.Total != 2 {
+		t.Fatalf("a lost or metadata drifted: %q %q %+v", v, wl, p)
 	}
 	if c.Len() != 2 {
 		t.Fatalf("len %d", c.Len())
 	}
-	c.Add("a", "wa", []byte("A2")) // refresh in place
-	if v, _, _ := c.Get("a"); string(v) != "A2" || c.Len() != 2 {
+	c.Add("a", "wa", []byte("A2"), progressPoint{}) // refresh in place
+	if v, _, _, _ := c.Get("a"); string(v) != "A2" || c.Len() != 2 {
 		t.Fatalf("refresh drifted: %q len %d", v, c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 3 || misses != 1 {
+		t.Fatalf("lookup counters drifted: %d hits %d misses, want 3/1", hits, misses)
 	}
 }
 
