@@ -32,12 +32,14 @@ bench-smoke:
 
 # Machine-readable fan-out benchmarks: the serve-layer fan-out pair
 # (direct vs 3 shards), the shard run/reduce split that bounds its
-# speedup, and the SPICE-MC control-variate baseline — emitted as one
-# JSON object per benchmark into BENCH_9.json (CI uploads it as an
+# speedup, the remote-fabric dispatch round trip (its per-shard overhead
+# floor), and the SPICE-MC control-variate baseline — emitted as one
+# JSON object per benchmark into BENCH_10.json (CI uploads it as an
 # artifact; numbers are per-machine, so the file is advisory, not a gate).
 bench-json:
 	@{ $(GO) test -run '^$$' -bench 'ServeFanout' -benchmem -benchtime 2x ./internal/serve; \
 	   $(GO) test -run '^$$' -bench 'BenchmarkShard' -benchmem -benchtime 2x ./internal/core; \
+	   $(GO) test -run '^$$' -bench 'RemoteShardRoundtrip' -benchmem -benchtime 5x ./internal/remote; \
 	   $(GO) test -run '^$$' -bench 'SpiceMCCV$$' -benchmem -benchtime 1x .; } | \
 	awk 'BEGIN { print "[" } \
 	     /^Benchmark/ { ns="null"; bop="null"; aop="null"; \
@@ -48,8 +50,8 @@ bench-json:
 	       } \
 	       if (n++) printf(",\n"); \
 	       printf("  {\"name\":\"%s\",\"iters\":%s,\"ns_op\":%s,\"b_op\":%s,\"allocs_op\":%s}", $$1, $$2, ns, bop, aop) } \
-	     END { print "\n]" }' > BENCH_9.json
-	@cat BENCH_9.json
+	     END { print "\n]" }' > BENCH_10.json
+	@cat BENCH_10.json
 
 # Fuzz smoke: ten seconds per target. FuzzNetlistReset proves
 # spice.Engine.Reset stays bit-identical to a fresh engine under random

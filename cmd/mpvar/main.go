@@ -22,6 +22,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -364,8 +365,9 @@ func serveMain(args []string) {
 	engineWorkers := fs.Int("engine-workers", 0, "worker count inside each run's engines (0 = all CPUs; never changes results)")
 	fanout := fs.Int("fanout", 0, "shard count heavy runs fan out into (0 = the pool size, 1 = disabled; never changes response bytes)")
 	fanoutMinSamples := fs.Int("fanout-min-samples", 0, "estimated-cost threshold (samples x workload cost hint) above which a run fans out (0 = 50000)")
-	fanoutExec := fs.String("fanout-exec", "goroutine", "shard execution vehicle: goroutine (in-process) or process (mpvar shard children, crash-isolated)")
+	fanoutExec := fs.String("fanout-exec", "goroutine", "shard execution vehicle: goroutine (in-process), process (mpvar shard children, crash-isolated) or remote (peer mpvar serve workers; needs -peers)")
 	fanoutDir := fs.String("fanout-dir", "", "scratch dir for shard artifacts and drain checkpoints (default <tmp>/mpvar-fanout; reuse it across restarts to resume)")
+	peers := fs.String("peers", "", "comma-separated peer mpvar serve workers (host:port or URLs) for -fanout-exec=remote")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mpvar serve [flags]\n\nserve the workload registry over HTTP/JSON (endpoints in API.md)\n\nflags:\n")
 		fs.SetOutput(os.Stderr)
@@ -375,8 +377,20 @@ func serveMain(args []string) {
 	if fs.NArg() > 0 {
 		fatal(fmt.Errorf("unexpected argument %q after serve", fs.Arg(0)))
 	}
-	if *fanoutExec != "goroutine" && *fanoutExec != "process" {
-		fatal(fmt.Errorf("unknown -fanout-exec %q (goroutine or process)", *fanoutExec))
+	if *fanoutExec != "goroutine" && *fanoutExec != "process" && *fanoutExec != "remote" {
+		fatal(fmt.Errorf("unknown -fanout-exec %q (goroutine, process or remote)", *fanoutExec))
+	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	if *fanoutExec == "remote" && len(peerList) == 0 {
+		fatal(fmt.Errorf("-fanout-exec=remote needs at least one -peers worker"))
+	}
+	if len(peerList) > 0 && *fanoutExec != "remote" {
+		fatal(fmt.Errorf("-peers only applies with -fanout-exec=remote"))
 	}
 	bin, err := os.Executable()
 	if err != nil {
@@ -392,6 +406,7 @@ func serveMain(args []string) {
 		Fanout:           *fanout,
 		FanoutMinSamples: *fanoutMinSamples,
 		FanoutExec:       *fanoutExec,
+		Peers:            peerList,
 		FanoutDir:        *fanoutDir,
 		FanoutBinary:     bin,
 	})

@@ -163,6 +163,28 @@
 // (CI proves the bytes, the drain checkpoints and the restart-resume
 // over the real binary).
 //
+// The third execution vehicle crosses machines (internal/remote,
+// -fanout-exec=remote): every `mpvar serve` process also mounts the
+// worker side of a shard fabric — POST /v1/shards accepts a normalized
+// RunSpec + ShardSpec (plus an optional checkpoint to resume), executes
+// it through the same core.RunShard in a bounded pool, and streams
+// progress frames, periodic checkpoint frames and finally the complete
+// artifact back, validating the embedded run key on both ends so a
+// version-drifted peer refuses before any bytes fold. The coordinator
+// side is a health-checked peer pool: each shard dispatches to the
+// live, least-loaded peer (draining or engine-drifted peers are
+// excluded by their own /v1/healthz), under a single watchdog covering
+// dispatch and mid-stream stalls. The failure ladder trades only time,
+// never correctness: a dead peer is marked down and the shard
+// re-dispatches to another worker resuming from the last shipped
+// checkpoint frame; a fleet with no live peers falls back to in-process
+// execution; and a coordinator drain leaves the shipped checkpoints in
+// -fanout-dir, where a restarted coordinator resumes them like any
+// local fan-out. The reduce stays the exact left-fold, so remote bodies
+// are byte-identical to direct execution and share its cache entry (CI
+// proves it over real processes and sockets, including a worker killed
+// mid-run).
+//
 // The benchmark harness in bench_test.go regenerates every table and
 // figure of the paper's evaluation section; run
 //

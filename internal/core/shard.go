@@ -16,10 +16,12 @@
 package core
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -67,9 +69,11 @@ type ShardArtifact struct {
 	Payload *mc.ShardPayload
 }
 
-// writeShardArtifact persists header+payload atomically: a kill mid-write
-// can only ever lose the newest checkpoint, never corrupt the file.
-func writeShardArtifact(path string, h ShardHeader, payload []byte) error {
+// WriteShardArtifactTo encodes header+payload in the artifact container
+// format onto any writer — the same bytes writeShardArtifact persists to
+// disk, which is what lets the remote shard fabric stream artifacts over
+// HTTP and have both ends agree bit for bit with the on-disk form.
+func WriteShardArtifactTo(w io.Writer, h ShardHeader, payload []byte) error {
 	hdr, err := json.Marshal(h)
 	if err != nil {
 		return fmt.Errorf("core: encoding shard header: %w", err)
@@ -79,11 +83,63 @@ func writeShardArtifact(path string, h ShardHeader, payload []byte) error {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(hdr)))
 	buf = append(buf, hdr...)
 	buf = append(buf, payload...)
+	_, err = w.Write(buf)
+	return err
+}
+
+// writeShardArtifact persists header+payload atomically: a kill mid-write
+// can only ever lose the newest checkpoint, never corrupt the file.
+func writeShardArtifact(path string, h ShardHeader, payload []byte) error {
+	var buf bytes.Buffer
+	if err := WriteShardArtifactTo(&buf, h, payload); err != nil {
+		return err
+	}
+	return WriteShardArtifactFile(path, buf.Bytes())
+}
+
+// WriteShardArtifactFile persists already-encoded artifact bytes
+// atomically (tmp + rename), the same write discipline writeShardArtifact
+// uses — the remote fabric's coordinator lands received artifact and
+// checkpoint bytes through it so a crash mid-write never corrupts a
+// resumable file.
+func WriteShardArtifactFile(path string, data []byte) error {
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return err
 	}
 	return os.Rename(tmp, path)
+}
+
+// ReadShardArtifactFrom parses an artifact or checkpoint from any
+// reader, rejecting foreign magics, truncated headers, engine-version
+// drift and corrupt payloads. ReadShardArtifact is the path flavor; this
+// one decodes artifact bytes arriving over a network stream.
+func ReadShardArtifactFrom(r io.Reader) (*ShardArtifact, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(shardMagic)+4 || string(data[:len(shardMagic)]) != string(shardMagic) {
+		return nil, fmt.Errorf("core: not a shard artifact (magic %q missing)", shardMagic)
+	}
+	rest := data[len(shardMagic):]
+	hlen := int(binary.BigEndian.Uint32(rest))
+	rest = rest[4:]
+	if hlen < 2 || hlen > len(rest) {
+		return nil, fmt.Errorf("core: shard header truncated")
+	}
+	var h ShardHeader
+	if err := json.Unmarshal(rest[:hlen], &h); err != nil {
+		return nil, fmt.Errorf("core: shard header: %w", err)
+	}
+	if h.EngineVersion != EngineVersion {
+		return nil, fmt.Errorf("core: artifact was produced by engine %s, this build is %s — regenerate the shards", h.EngineVersion, EngineVersion)
+	}
+	p, err := mc.DecodeShardPayload(rest[hlen:])
+	if err != nil {
+		return nil, err
+	}
+	return &ShardArtifact{Header: h, Payload: p}, nil
 }
 
 // ReadShardArtifact parses a shard artifact or checkpoint file,
@@ -93,27 +149,36 @@ func ReadShardArtifact(path string) (*ShardArtifact, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(data) < len(shardMagic)+4 || string(data[:len(shardMagic)]) != string(shardMagic) {
-		return nil, fmt.Errorf("core: %s is not a shard artifact (magic %q missing)", path, shardMagic)
-	}
-	rest := data[len(shardMagic):]
-	hlen := int(binary.BigEndian.Uint32(rest))
-	rest = rest[4:]
-	if hlen < 2 || hlen > len(rest) {
-		return nil, fmt.Errorf("core: %s shard header truncated", path)
-	}
-	var h ShardHeader
-	if err := json.Unmarshal(rest[:hlen], &h); err != nil {
-		return nil, fmt.Errorf("core: %s shard header: %w", path, err)
-	}
-	if h.EngineVersion != EngineVersion {
-		return nil, fmt.Errorf("core: %s was produced by engine %s, this build is %s — regenerate the shards", path, h.EngineVersion, EngineVersion)
-	}
-	p, err := mc.DecodeShardPayload(rest[hlen:])
+	a, err := ReadShardArtifactFrom(bytes.NewReader(data))
 	if err != nil {
-		return nil, fmt.Errorf("core: %s: %w", path, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return &ShardArtifact{Header: h, Payload: p}, nil
+	return a, nil
+}
+
+// Verify checks that the artifact is what a caller expecting (runKey,
+// shard) should accept: the coordinates match, and the header's spec
+// still reproduces its recorded run key under the current engines — the
+// same recomputation Reduce performs, pulled out so both ends of the
+// remote shard fabric can refuse drifted or foreign artifacts before any
+// bytes land in a reduce set. An empty runKey skips the caller-side key
+// comparison and only validates internal consistency.
+func (a *ShardArtifact) Verify(runKey string, shard mc.ShardSpec) error {
+	h := a.Header
+	if h.ShardIndex != shard.Index || h.ShardCount != shard.Count {
+		return fmt.Errorf("core: artifact covers shard %d/%d, want %d/%d", h.ShardIndex, h.ShardCount, shard.Index, shard.Count)
+	}
+	key, err := h.spec().Key()
+	if err != nil {
+		return fmt.Errorf("core: artifact spec no longer validates: %w", err)
+	}
+	if key != h.RunKey {
+		return fmt.Errorf("core: artifact run key %s does not reproduce under the current engines (%s) — regenerate the shards", h.RunKey[:12], key[:12])
+	}
+	if runKey != "" && key != runKey {
+		return fmt.Errorf("core: artifact belongs to run %s, want %s", h.RunKey[:12], runKey[:12])
+	}
+	return nil
 }
 
 // withShardRun / withReplay install the engine hooks after the spec's

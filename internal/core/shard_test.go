@@ -287,6 +287,97 @@ func TestReduceRejects(t *testing.T) {
 	}
 }
 
+// TestShardArtifactStreamRoundTrip: the io.Writer/io.Reader flavors of
+// the artifact codec produce exactly the on-disk bytes and decode them
+// back — the contract the remote fabric relies on to ship artifacts
+// over HTTP and land them bit-identical to a local run.
+func TestShardArtifactStreamRoundTrip(t *testing.T) {
+	spec := RunSpec{Workload: "fig3"}
+	path := filepath.Join(t.TempDir(), "part0.shard")
+	shard := mc.ShardSpec{Index: 0, Count: 2}
+	if err := RunShard(spec, shard, path, ShardRunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := ReadShardArtifactFrom(bytes.NewReader(onDisk))
+	if err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	hlen := int(binary.BigEndian.Uint32(onDisk[len(shardMagic):]))
+	payload := onDisk[len(shardMagic)+4+hlen:]
+	var buf bytes.Buffer
+	if err := WriteShardArtifactTo(&buf, art.Header, payload); err != nil {
+		t.Fatalf("stream write: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), onDisk) {
+		t.Fatal("stream re-encode diverged from the on-disk artifact bytes")
+	}
+
+	// WriteShardArtifactFile lands raw bytes with the same atomic
+	// discipline; the result must read back identically.
+	copied := filepath.Join(t.TempDir(), "copy.shard")
+	if err := WriteShardArtifactFile(copied, onDisk); err != nil {
+		t.Fatal(err)
+	}
+	back, err := os.ReadFile(copied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, onDisk) {
+		t.Fatal("WriteShardArtifactFile changed the bytes")
+	}
+	if _, err := os.Stat(copied + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+
+	// Stream decode refuses junk just like the path flavor.
+	if _, err := ReadShardArtifactFrom(bytes.NewReader([]byte("nope"))); err == nil ||
+		!strings.Contains(err.Error(), "magic") {
+		t.Fatalf("junk stream: %v", err)
+	}
+}
+
+// TestShardArtifactVerify pins the acceptance checks both ends of the
+// remote fabric run before trusting shipped bytes.
+func TestShardArtifactVerify(t *testing.T) {
+	spec := RunSpec{Workload: "fig3"}
+	path := filepath.Join(t.TempDir(), "part0.shard")
+	shard := mc.ShardSpec{Index: 0, Count: 2}
+	if err := RunShard(spec, shard, path, ShardRunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	art, err := ReadShardArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := art.Header.RunKey
+
+	if err := art.Verify(key, shard); err != nil {
+		t.Fatalf("matching artifact refused: %v", err)
+	}
+	if err := art.Verify("", shard); err != nil {
+		t.Fatalf("internal-consistency check refused: %v", err)
+	}
+	if err := art.Verify(key, mc.ShardSpec{Index: 1, Count: 2}); err == nil ||
+		!strings.Contains(err.Error(), "covers shard") {
+		t.Fatalf("wrong coordinates: %v", err)
+	}
+	other := strings.Repeat("0", len(key))
+	if err := art.Verify(other, shard); err == nil ||
+		!strings.Contains(err.Error(), "belongs to run") {
+		t.Fatalf("foreign run key: %v", err)
+	}
+	drifted := *art
+	drifted.Header.Seed++ // spec no longer reproduces the recorded key
+	if err := drifted.Verify(drifted.Header.RunKey, shard); err == nil ||
+		!strings.Contains(err.Error(), "does not reproduce") {
+		t.Fatalf("drifted spec: %v", err)
+	}
+}
+
 // TestShardHeaderSpecRoundTrip: the JSON header reconstructs a spec that
 // normalizes back to the same key (params survive the float64 round
 // trip).

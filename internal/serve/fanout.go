@@ -30,7 +30,6 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -38,7 +37,9 @@ import (
 	"time"
 
 	"mpsram/internal/core"
+	"mpsram/internal/exp"
 	"mpsram/internal/mc"
+	"mpsram/internal/remote"
 )
 
 const (
@@ -51,6 +52,12 @@ const (
 	// maxShardAttempts bounds re-dispatch of a failing shard; each retry
 	// resumes from the frontier the failed attempt persisted.
 	maxShardAttempts = 3
+	// shardRetryBackoff / shardRetryBackoffCap pace re-dispatches: the
+	// wait doubles per attempt up to the cap, so a transiently sick
+	// vehicle (a peer mid-restart, an OOM-killed child) gets a beat to
+	// recover instead of burning the whole attempt budget instantly.
+	shardRetryBackoff    = 50 * time.Millisecond
+	shardRetryBackoffCap = 2 * time.Second
 	// processCheckpointEvery / processPollEvery pace the child-process
 	// mode: children persist their frontier at most this often, the
 	// parent polls the checkpoint files for progress at the same order.
@@ -110,15 +117,10 @@ func (e processExec) runShard(ctx context.Context, spec core.RunSpec, shard mc.S
 		spec.Workload,
 	}
 	// The spec is normalized, so passing every parameter explicitly is
-	// canonical — the child recomputes the identical run key.
-	names := make([]string, 0, len(spec.Params))
-	for name := range spec.Params {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		args = append(args, fmt.Sprintf("-%s=%v", name, spec.Params[name]))
-	}
+	// canonical — the child recomputes the identical run key. ParamFlags
+	// is the pinned spelling (a %v here would mangle strings with spaces
+	// or '=' into multiple argv words).
+	args = append(args, exp.ParamFlags(spec.Params)...)
 	cmd := exec.CommandContext(ctx, e.bin, args...)
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
@@ -252,6 +254,13 @@ func (s *Server) executeFanout(r *run, nshards int) ([]byte, error) {
 			os.Remove(paths[i])
 		}
 	}
+	// The dispatcher reads s.shardRunner at run time, so tests swapping
+	// the vehicle after New() see their stand-in used.
+	disp := shardDispatcher{
+		exec: s.shardRunner, attempts: maxShardAttempts,
+		backoff: shardRetryBackoff, backoffCap: shardRetryBackoffCap,
+		onRedispatch: func() { s.fanout.shardsRedispatched.Add(1) },
+	}
 	errs := make([]error, nshards)
 	var wg sync.WaitGroup
 	for i := 0; i < nshards; i++ {
@@ -260,7 +269,7 @@ func (s *Server) executeFanout(r *run, nshards int) ([]byte, error) {
 			defer wg.Done()
 			s.fanout.inflightShards.Add(1)
 			defer s.fanout.inflightShards.Add(-1)
-			errs[i] = s.runShardAttempts(ctx, r.spec, mc.ShardSpec{Index: i, Count: nshards}, paths[i],
+			errs[i] = disp.run(ctx, r.spec, mc.ShardSpec{Index: i, Count: nshards}, paths[i],
 				func(done, total int) { agg.update(i, done, total) })
 		}(i)
 	}
@@ -290,21 +299,60 @@ func (s *Server) executeFanout(r *run, nshards int) ([]byte, error) {
 	return body, nil
 }
 
-// runShardAttempts drives one shard to completion through the configured
-// execution vehicle, re-dispatching after a failure (child crash, flaky
-// transport) up to maxShardAttempts times. Each retry resumes from
-// whatever frontier the failed attempt persisted, so completed blocks
-// are never re-executed. Cancellation is terminal — a drain must not
-// fight the retry loop.
-func (s *Server) runShardAttempts(ctx context.Context, spec core.RunSpec, shard mc.ShardSpec, path string, progress func(done, total int)) error {
+// shardDispatcher drives one shard to completion through an execution
+// vehicle — the single attempt-budget + resume policy all three vehicles
+// (goroutine, process, remote) share. A failed attempt (child crash,
+// dead peer, flaky transport) re-dispatches after a capped exponential
+// backoff, resuming from whatever frontier the failed attempt persisted,
+// so completed blocks are never re-executed. Cancellation is terminal —
+// a drain must not fight the retry loop.
+type shardDispatcher struct {
+	exec         shardExec
+	attempts     int
+	backoff      time.Duration
+	backoffCap   time.Duration
+	onRedispatch func()
+}
+
+func (d shardDispatcher) run(ctx context.Context, spec core.RunSpec, shard mc.ShardSpec, path string, progress func(done, total int)) error {
 	var err error
-	for attempt := 0; attempt < maxShardAttempts; attempt++ {
+	delay := d.backoff
+	for attempt := 0; attempt < d.attempts; attempt++ {
 		if attempt > 0 {
-			s.fanout.shardsRedispatched.Add(1)
+			if d.onRedispatch != nil {
+				d.onRedispatch()
+			}
+			select {
+			case <-ctx.Done():
+				return err
+			case <-time.After(delay):
+			}
+			if delay *= 2; delay > d.backoffCap {
+				delay = d.backoffCap
+			}
 		}
-		if err = s.shardRunner.runShard(ctx, spec, shard, path, progress); err == nil || ctx.Err() != nil {
+		if err = d.exec.runShard(ctx, spec, shard, path, progress); err == nil || ctx.Err() != nil {
 			return err
 		}
 	}
-	return fmt.Errorf("shard %d/%d failed %d attempts: %w", shard.Index, shard.Count, maxShardAttempts, err)
+	return fmt.Errorf("shard %d/%d failed %d attempts: %w", shard.Index, shard.Count, d.attempts, err)
+}
+
+// remoteExec dispatches shards to peer `mpvar serve` workers through the
+// pool. Falls back to in-process execution when no peer is live — a dead
+// worker fleet costs latency, never a failed run — while any other error
+// (a mid-stream death, a worker-side failure) surfaces to the dispatcher,
+// whose retry lands on another live peer resuming from the last shipped
+// checkpoint.
+type remoteExec struct {
+	pool  *remote.Pool
+	local goroutineExec
+}
+
+func (e remoteExec) runShard(ctx context.Context, spec core.RunSpec, shard mc.ShardSpec, path string, progress func(done, total int)) error {
+	err := e.pool.ExecuteShard(ctx, spec, shard, path, progress)
+	if errors.Is(err, remote.ErrNoLivePeers) {
+		return e.local.runShard(ctx, spec, shard, path, progress)
+	}
+	return err
 }

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// The shardProgress aggregator feeds the run's SSE stream from N
+// concurrent, independently-paced shard observers. Its contract: the
+// published (done, total) aggregate is monotone even when individual
+// observations arrive out of order or regress (a re-dispatched attempt
+// warming back up to its checkpoint), nothing is published while no
+// shard has reported a total yet, and the terminal frame is the exact
+// 100% sum.
+
+func TestShardProgressAggregator(t *testing.T) {
+	var published []string
+	agg := newShardProgress(3, func(done, total int) {
+		published = append(published, fmt.Sprintf("%d/%d", done, total))
+	})
+
+	// A zero observation carries no total: nothing to publish yet.
+	agg.update(0, 0, 0)
+	if len(published) != 0 {
+		t.Fatalf("published %v before any shard reported a total", published)
+	}
+
+	agg.update(1, 10, 100) // first real frontier
+	agg.update(2, 5, 100)  // out-of-order: shard 2 before shard 0
+	agg.update(1, 3, 100)  // regression (re-dispatch warming up): dropped
+	agg.update(1, 12, 50)  // done advances; the smaller total is ignored
+	agg.update(0, 100, 100)
+	agg.update(1, 100, 100)
+	agg.update(2, 100, 100) // terminal: every shard at 100%
+
+	want := []string{"10/100", "15/200", "17/200", "117/300", "205/300", "300/300"}
+	if !reflect.DeepEqual(published, want) {
+		t.Fatalf("published sequence %v, want %v", published, want)
+	}
+}
+
+// TestShardProgressMonotone pins the aggregate-level guarantee the SSE
+// contract depends on: across any interleaving of updates, published
+// done and total never decrease, and done never exceeds total.
+func TestShardProgressMonotone(t *testing.T) {
+	lastDone, lastTotal := -1, -1
+	agg := newShardProgress(2, func(done, total int) {
+		if done < lastDone || total < lastTotal {
+			t.Fatalf("aggregate regressed: %d/%d after %d/%d", done, total, lastDone, lastTotal)
+		}
+		if done > total {
+			t.Fatalf("done %d exceeds total %d", done, total)
+		}
+		lastDone, lastTotal = done, total
+	})
+	// A hostile interleaving: regressions, repeats, late totals.
+	agg.update(0, 4, 50)
+	agg.update(1, 1, 50)
+	agg.update(0, 2, 50) // regressing peer report: dropped
+	agg.update(0, 4, 50) // repeat of the frontier: republished, not regressed
+	agg.update(1, 50, 50)
+	agg.update(0, 50, 50)
+	if lastDone != 100 || lastTotal != 100 {
+		t.Fatalf("terminal frame %d/%d, want 100/100", lastDone, lastTotal)
+	}
+}

@@ -44,6 +44,7 @@ import (
 
 	"mpsram/internal/core"
 	"mpsram/internal/exp"
+	"mpsram/internal/remote"
 )
 
 // Config sizes the service. Zero values take the defaults noted on each
@@ -83,10 +84,18 @@ type Config struct {
 	// without a Cost hint never fan out regardless.
 	FanoutMinSamples int
 	// FanoutExec selects the shard execution vehicle: "goroutine"
-	// (default, in-process) or "process" (spawn `mpvar shard` children
+	// (default, in-process), "process" (spawn `mpvar shard` children
 	// via FanoutBinary; a child crash re-dispatches that shard from its
-	// last checkpoint).
+	// last checkpoint), or "remote" (dispatch shards to the peer
+	// `mpvar serve` workers in Peers; a dead peer re-dispatches from the
+	// last shipped checkpoint, and no live peers falls back to
+	// in-process execution).
 	FanoutExec string
+	// Peers lists peer `mpvar serve` workers ("host:port" or full URLs)
+	// for FanoutExec "remote". Peers are health-checked via their
+	// /v1/healthz — a draining or engine-drifted peer is never
+	// dispatched to.
+	Peers []string
 	// FanoutDir is the scratch directory for shard artifacts and drain
 	// checkpoints (default <os temp>/mpvar-fanout). A restarted server
 	// pointed at the same directory resumes checkpointed shards instead
@@ -155,6 +164,13 @@ type Server struct {
 	fanoutStop  context.CancelFunc
 	shardRunner shardExec
 	fanout      fanoutStats
+
+	// Remote shard fabric: every server carries the worker role (the
+	// POST /v1/shards endpoint), so any peer can dispatch to it;
+	// remotePool exists only when FanoutExec is "remote" and this server
+	// coordinates dispatches of its own.
+	remoteWorker *remote.Worker
+	remotePool   *remote.Pool
 }
 
 // New builds a Server and starts its executor pool. Call Drain to stop.
@@ -169,13 +185,19 @@ func New(cfg Config) *Server {
 	}
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
 	s.fanoutCtx, s.fanoutStop = context.WithCancel(s.baseCtx)
-	if cfg.FanoutExec == "process" {
+	s.remoteWorker = remote.NewWorker(cfg.Workers, cfg.EngineWorkers, "")
+	switch cfg.FanoutExec {
+	case "process":
 		bin := cfg.FanoutBinary
 		if bin == "" {
 			bin, _ = os.Executable()
 		}
 		s.shardRunner = processExec{bin: bin, workers: cfg.EngineWorkers}
-	} else {
+	case "remote":
+		s.remotePool = remote.NewPool(cfg.Peers, remote.PoolConfig{})
+		s.shardRunner = remoteExec{pool: s.remotePool, local: goroutineExec{workers: cfg.EngineWorkers}}
+		go s.remotePool.Run(s.baseCtx)
+	default:
 		s.shardRunner = goroutineExec{workers: cfg.EngineWorkers}
 	}
 	s.workers.Add(cfg.Workers)
@@ -192,8 +214,22 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleRun)
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST "+remote.ShardsPath, s.handleShards)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	return mux
+}
+
+// handleShards is the worker role: execute one dispatched shard and
+// stream its artifact back (see internal/remote). The fan-out context
+// governs execution, so a drain checkpoints remotely-served shards
+// exactly like locally fanned-out ones — the last shipped checkpoint
+// frame lets the dispatching coordinator resume elsewhere.
+func (s *Server) handleShards(w http.ResponseWriter, req *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining; not accepting new shards")
+		return
+	}
+	s.remoteWorker.ServeShard(s.fanoutCtx, w, req)
 }
 
 // errorEnvelope is the uniform error body: one "error" field whose text
@@ -519,6 +555,21 @@ type healthFanout struct {
 	ShardsRedispatched int64  `json:"shards_redispatched"`
 }
 
+// healthRemote is the remote-fabric block of the healthz body, covering
+// both roles: the coordinator's peer pool (configured/live peers,
+// dispatch counters) and the worker's shard service (dispatches served
+// for peers, bytes streamed out).
+type healthRemote struct {
+	PeersConfigured    int   `json:"peers_configured"`
+	PeersLive          int   `json:"peers_live"`
+	ShardsDispatched   int64 `json:"shards_dispatched"`
+	ShippedBytes       int64 `json:"shipped_bytes"`
+	FailedOver         int64 `json:"failed_over"`
+	WorkerShardsServed int64 `json:"worker_shards_served"`
+	WorkerShardsActive int64 `json:"worker_shards_active"`
+	WorkerBytesShipped int64 `json:"worker_bytes_shipped"`
+}
+
 // handleHealthz reports liveness and the load counters an operator (or a
 // drain test) wants: accepting vs draining, in-flight runs and shards,
 // queue depth, cache fill and hit ratio.
@@ -536,6 +587,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	if hits+misses > 0 {
 		ratio = float64(hits) / float64(hits+misses)
 	}
+	rem := healthRemote{
+		WorkerShardsServed: s.remoteWorker.Stats().ShardsServed.Load(),
+		WorkerShardsActive: s.remoteWorker.Stats().ShardsActive.Load(),
+		WorkerBytesShipped: s.remoteWorker.Stats().BytesShipped.Load(),
+	}
+	if s.remotePool != nil {
+		rem.PeersConfigured, rem.PeersLive = s.remotePool.Peers()
+		rem.ShardsDispatched = s.remotePool.Stats().Dispatched.Load()
+		rem.ShippedBytes = s.remotePool.Stats().ShippedBytes.Load()
+		rem.FailedOver = s.remotePool.Stats().FailedOver.Load()
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Status        string       `json:"status"`
 		Engine        string       `json:"engine"`
@@ -548,6 +610,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
 		Workers       int          `json:"workers"`
 		MaxQueue      int          `json:"max_queue"`
 		Fanout        healthFanout `json:"fanout"`
+		Remote        healthRemote `json:"remote"`
 	}{
 		status, core.EngineVersion, inflight, len(s.queue), s.cache.Len(),
 		hits, misses, ratio, s.cfg.Workers, s.cfg.MaxQueue,
@@ -560,6 +623,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
 			ShardsResumed:      s.fanout.shardsResumed.Load(),
 			ShardsRedispatched: s.fanout.shardsRedispatched.Load(),
 		},
+		rem,
 	})
 }
 
